@@ -1,0 +1,174 @@
+// Shared infrastructure for the figure-reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from
+// the paper's evaluation (Section V). Scale is controlled by the
+// PSKY_BENCH_SCALE environment variable:
+//
+//   tiny   n =  20K, N =  10K   (smoke)
+//   quick  n = 100K, N =  50K   (default; preserves all trends)
+//   full   n =   2M, N =   1M   (paper Table II scale)
+
+#ifndef PSKY_BENCH_BENCH_COMMON_H_
+#define PSKY_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "base/stats.h"
+#include "base/timer.h"
+#include "core/operator.h"
+#include "stream/generator.h"
+#include "stream/stock.h"
+#include "stream/window.h"
+
+namespace psky::bench {
+
+struct Scale {
+  const char* name;
+  size_t n;  // stream length (paper: 2M)
+  size_t w;  // window size N (paper: 1M)
+};
+
+inline Scale GetScale() {
+  const char* env = std::getenv("PSKY_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    return {"full", 2'000'000, 1'000'000};
+  }
+  if (env != nullptr && std::strcmp(env, "tiny") == 0) {
+    return {"tiny", 20'000, 10'000};
+  }
+  return {"quick", 100'000, 50'000};
+}
+
+/// The paper's dataset labels.
+enum class Dataset { kIndeUniform, kAntiUniform, kAntiNormal, kStockUniform };
+
+inline const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kIndeUniform:
+      return "Inde-Uniform";
+    case Dataset::kAntiUniform:
+      return "Anti-Uniform";
+    case Dataset::kAntiNormal:
+      return "Anti-Normal";
+    case Dataset::kStockUniform:
+      return "Stock-Uniform";
+  }
+  return "?";
+}
+
+/// Type-erased element source covering both synthetic and stock streams.
+class ElementSource {
+ public:
+  virtual ~ElementSource() = default;
+  virtual UncertainElement Next() = 0;
+};
+
+class SyntheticSource : public ElementSource {
+ public:
+  explicit SyntheticSource(const StreamConfig& cfg) : gen_(cfg) {}
+  UncertainElement Next() override { return gen_.Next(); }
+
+ private:
+  StreamGenerator gen_;
+};
+
+class StockSource : public ElementSource {
+ public:
+  explicit StockSource(const StockConfig& cfg) : gen_(cfg) {}
+  UncertainElement Next() override { return gen_.Next(); }
+
+ private:
+  StockSource(const StockSource&) = delete;
+  StockStreamGenerator gen_;
+};
+
+/// Builds the source for a paper dataset. `dims` is ignored for stock
+/// (always 2-d). `pmu` only matters for the normal probability model.
+inline std::unique_ptr<ElementSource> MakeSource(Dataset dataset, int dims,
+                                                 double pmu = 0.5,
+                                                 uint64_t seed = 42) {
+  switch (dataset) {
+    case Dataset::kIndeUniform:
+    case Dataset::kAntiUniform:
+    case Dataset::kAntiNormal: {
+      StreamConfig cfg;
+      cfg.dims = dims;
+      cfg.spatial = dataset == Dataset::kIndeUniform
+                        ? SpatialDistribution::kIndependent
+                        : SpatialDistribution::kAntiCorrelated;
+      cfg.prob.distribution = dataset == Dataset::kAntiNormal
+                                  ? ProbDistribution::kNormal
+                                  : ProbDistribution::kUniform;
+      cfg.prob.mean = pmu;
+      cfg.seed = seed;
+      return std::make_unique<SyntheticSource>(cfg);
+    }
+    case Dataset::kStockUniform: {
+      StockConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<StockSource>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+/// Result of driving one operator over one stream.
+struct RunResult {
+  size_t max_candidates = 0;
+  size_t max_skyline = 0;
+  /// Mean per-element delay (microseconds), measured over 1K-element
+  /// batches from the moment the window is full (steady state).
+  double delay_us = 0.0;
+  double elements_per_second = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Drives `op` over `n` elements from `source` with a count window of
+/// `window` elements, batching the clock every 1K elements as the paper
+/// does.
+inline RunResult DriveOperator(WindowSkylineOperator* op,
+                               ElementSource* source, size_t n,
+                               size_t window) {
+  RunResult result;
+  StreamProcessor proc(op, window);
+  LatencyRecorder recorder(1000);
+  Timer total;
+  Timer batch;
+  size_t in_batch = 0;
+  for (size_t i = 0; i < n; ++i) {
+    proc.Step(source->Next());
+    if (op->candidate_count() > result.max_candidates) {
+      result.max_candidates = op->candidate_count();
+    }
+    if (op->skyline_count() > result.max_skyline) {
+      result.max_skyline = op->skyline_count();
+    }
+    if (i >= window) {
+      if (++in_batch == recorder.batch_size()) {
+        recorder.AddBatchSeconds(batch.ElapsedSeconds());
+        batch.Reset();
+        in_batch = 0;
+      }
+    } else if (i == window - 1) {
+      batch.Reset();  // steady state starts now
+    }
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  result.delay_us = recorder.MeanDelayPerElementMicros();
+  result.elements_per_second = recorder.ElementsPerSecond();
+  return result;
+}
+
+inline void PrintHeader(const char* title, const Scale& scale) {
+  std::printf("== %s ==\n", title);
+  std::printf("scale=%s  n=%zu  N=%zu  (PSKY_BENCH_SCALE=tiny|quick|full)\n\n",
+              scale.name, scale.n, scale.w);
+}
+
+}  // namespace psky::bench
+
+#endif  // PSKY_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,35 @@
+// Figure 10: SSKY per-element delay vs mean appearance probability P_mu
+// (normal probability model, anti-correlated 3-d).
+//
+// Paper shape to reproduce: larger P_mu means a smaller candidate set
+// (Figure 6a) and therefore faster processing.
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 10: per-element delay vs P_mu", scale);
+
+  const double q = 0.3;
+  const int d = 3;
+  std::printf("%6s %14s %14s\n", "P_mu", "delay (us/elem)", "elements/sec");
+  for (double pmu : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto source = MakeSource(Dataset::kAntiNormal, d, pmu);
+    SskyOperator op(d, q);
+    const RunResult r = DriveOperator(&op, source.get(), scale.n, scale.w);
+    std::printf("%6.1f %14.3f %14.0f\n", pmu, r.delay_us,
+                r.elements_per_second);
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11: SSKY per-element delay vs probability threshold q
+// (anti-correlated 3-d, uniform probabilities).
+//
+// Paper shape to reproduce: processing gets faster as q increases,
+// because both the candidate and skyline sets shrink (Figure 7).
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 11: per-element delay vs threshold q", scale);
+
+  const int d = 3;
+  std::printf("%6s %14s %14s\n", "q", "delay (us/elem)", "elements/sec");
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto source = MakeSource(Dataset::kAntiUniform, d);
+    SskyOperator op(d, q);
+    const RunResult r = DriveOperator(&op, source.get(), scale.n, scale.w);
+    std::printf("%6.1f %14.3f %14.0f\n", q, r.delay_us,
+                r.elements_per_second);
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

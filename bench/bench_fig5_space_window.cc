@@ -1,0 +1,45 @@
+// Figure 5: maximum candidate-set and skyline sizes vs window size N, for
+// uniform and normal occurrence probabilities (anti-correlated 3-d,
+// q = 0.3, P_mu = 0.5).
+//
+// Paper shape to reproduce: sizes grow with N, but slowly (the
+// poly-logarithmic candidate bound), which is why SSKY's per-element cost
+// is insensitive to N in Figure 9.
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 5: space usage vs window size", scale);
+
+  const double q = 0.3;
+  const int d = 3;
+  for (Dataset ds : {Dataset::kAntiUniform, Dataset::kAntiNormal}) {
+    std::printf("[%s, %dd]\n", DatasetName(ds), d);
+    std::printf("%10s %12s %12s\n", "N", "max|S_{N,q}|", "max|SKY|");
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const size_t window = static_cast<size_t>(
+          frac * static_cast<double>(scale.w));
+      // Stream twice the window so the window slides over a full period.
+      const size_t n = std::min(scale.n, 2 * window + window);
+      auto source = MakeSource(ds, d);
+      SskyOperator op(d, q);
+      const RunResult r = DriveOperator(&op, source.get(), n, window);
+      std::printf("%10zu %12zu %12zu\n", window, r.max_candidates,
+                  r.max_skyline);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

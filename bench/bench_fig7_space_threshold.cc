@@ -1,0 +1,33 @@
+// Figure 7: space usage vs probability threshold q (anti-correlated 3-d,
+// uniform probabilities).
+//
+// Paper shape to reproduce: both the candidate-set size and the skyline
+// size drop monotonically as q increases.
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 7: space usage vs probability threshold q", scale);
+
+  const int d = 3;
+  std::printf("%6s %12s %12s\n", "q", "max|S_{N,q}|", "max|SKY|");
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto source = MakeSource(Dataset::kAntiUniform, d);
+    SskyOperator op(d, q);
+    const RunResult r = DriveOperator(&op, source.get(), scale.n, scale.w);
+    std::printf("%6.1f %12zu %12zu\n", q, r.max_candidates, r.max_skyline);
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

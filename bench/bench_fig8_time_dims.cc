@@ -1,0 +1,48 @@
+// Figure 8: SSKY time efficiency vs dimensionality / dataset — average
+// per-element delay measured over 1K-element batches, and sustainable
+// throughput.
+//
+// Paper shape to reproduce: very fast at 2-d (the paper reports > 38K
+// elements/second even on stock and anti-correlated data, on 2008
+// hardware), slowing sharply with dimensionality (~728 elem/s at 5-d
+// anti). Absolute numbers differ with hardware; the ordering and the
+// steep growth with d are the reproduced signal.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 8: per-element delay vs dimensionality", scale);
+
+  std::printf("%-14s %3s %14s %14s\n", "dataset", "d", "delay (us/elem)",
+              "elements/sec");
+  const double q = 0.3;
+  for (Dataset ds : {Dataset::kIndeUniform, Dataset::kAntiUniform,
+                     Dataset::kAntiNormal, Dataset::kStockUniform}) {
+    const std::vector<int> dims_list =
+        ds == Dataset::kStockUniform ? std::vector<int>{2}
+                                     : std::vector<int>{2, 3, 4, 5};
+    for (int d : dims_list) {
+      auto source = MakeSource(ds, d);
+      SskyOperator op(d, q);
+      const RunResult r =
+          DriveOperator(&op, source.get(), scale.n, scale.w);
+      std::printf("%-14s %3d %14.3f %14.0f\n", DatasetName(ds), d,
+                  r.delay_us, r.elements_per_second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

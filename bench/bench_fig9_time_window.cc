@@ -1,0 +1,40 @@
+// Figure 9: SSKY per-element delay vs window size N (anti-correlated 3-d).
+//
+// Paper shape to reproduce: performance is INSENSITIVE to N, because the
+// candidate set grows only poly-logarithmically with the window
+// (Figure 5 / Theorem 8).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+
+namespace psky::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 9: per-element delay vs window size", scale);
+
+  const double q = 0.3;
+  const int d = 3;
+  std::printf("%10s %14s %14s\n", "N", "delay (us/elem)", "elements/sec");
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const size_t window =
+        static_cast<size_t>(frac * static_cast<double>(scale.w));
+    const size_t n = std::min(scale.n, 3 * window);
+    auto source = MakeSource(Dataset::kAntiUniform, d);
+    SskyOperator op(d, q);
+    const RunResult r = DriveOperator(&op, source.get(), n, window);
+    std::printf("%10zu %14.3f %14.0f\n", window, r.delay_us,
+                r.elements_per_second);
+  }
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main() {
+  psky::bench::Run();
+  return 0;
+}

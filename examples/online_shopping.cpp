@@ -1,0 +1,84 @@
+// The paper's Section I motivating scenario (Table I): continuously
+// monitor on-line laptop advertisements for the best deals.
+//
+// Each advertisement has a price, a condition grade (1 = brand new ...
+// 5 = poor; smaller is better, like price), and the seller's
+// "trustability", which acts as the ad's occurrence probability. Old ads
+// fall out of a sliding window; ads from untrustworthy sellers must not
+// suppress better-looking deals - exactly the probabilistic q-skyline.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/random.h"
+#include "core/ssky_operator.h"
+#include "stream/element.h"
+
+namespace {
+
+struct Ad {
+  std::string item;
+  double price;
+  int condition;  // 1 = excellent ... 5 = poor
+  double trust;   // seller trustability in (0, 1]
+};
+
+const char* kConditionNames[] = {"", "excellent", "good", "average", "worn",
+                                 "poor"};
+
+psky::UncertainElement ToElement(const Ad& ad, uint64_t seq) {
+  psky::UncertainElement e;
+  e.pos = psky::Point({ad.price, static_cast<double>(ad.condition)});
+  e.prob = ad.trust;
+  e.seq = seq;
+  return e;
+}
+
+void PrintSkyline(const psky::SskyOperator& op, const std::vector<Ad>& ads) {
+  std::printf("  current best-deal candidates (P_sky >= %.2f):\n",
+              op.threshold());
+  for (const psky::SkylineMember& m : op.Skyline()) {
+    const Ad& ad = ads[m.element.seq];
+    std::printf("    $%-6.0f %-10s trust=%.2f  ->  P_sky=%.3f\n", ad.price,
+                kConditionNames[ad.condition], ad.trust, m.psky);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Table I of the paper, followed by a simulated feed of further ads.
+  std::vector<Ad> ads = {
+      {"ThinkPad T61", 550, 1, 0.80},  // L1: posted long ago
+      {"ThinkPad T61", 680, 1, 0.90},  // L2
+      {"ThinkPad T61", 530, 2, 1.00},  // L3
+      {"ThinkPad T61", 200, 2, 0.48},  // L4: great price, shaky seller
+  };
+  psky::Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    Ad ad;
+    ad.item = "ThinkPad T61";
+    ad.price = 150.0 + 600.0 * rng.NextDouble();
+    ad.condition = 1 + static_cast<int>(rng.NextBounded(5));
+    ad.trust = 0.3 + 0.7 * rng.NextDouble();
+    ads.push_back(ad);
+  }
+
+  // Keep the 8 most recent ads; report deals with P_sky >= 0.3.
+  psky::SskyOperator op(/*dims=*/2, /*q=*/0.3);
+  psky::StreamProcessor market(&op, /*window_size=*/8);
+
+  for (size_t i = 0; i < ads.size(); ++i) {
+    const Ad& ad = ads[i];
+    std::printf("new ad #%zu: $%.0f, %s, trust %.2f\n", i, ad.price,
+                kConditionNames[ad.condition], ad.trust);
+    market.Step(ToElement(ad, i));
+    if (i == 3 || i + 1 == ads.size()) PrintSkyline(op, ads);
+  }
+
+  std::printf(
+      "\nNote how low-trust sellers only *discount* better offers instead\n"
+      "of hiding them, and how stale ads disappear as the window slides.\n");
+  return 0;
+}

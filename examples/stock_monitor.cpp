@@ -1,0 +1,63 @@
+// The paper's second motivating scenario: monitor "top deals" among the
+// most recent N stock transactions, where each recorded deal is only
+// probably real (recording errors). A deal dominates another when it is
+// cheaper per share AND larger in volume.
+//
+// Demonstrates three query styles on one maintained structure:
+//   * the continuous q-skyline,
+//   * the continuous top-k skyline (Section VI),
+//   * ad-hoc queries with a stricter confidence (Section IV-D).
+
+#include <cstdio>
+
+#include "core/msky_operator.h"
+#include "core/topk_operator.h"
+#include "stream/stock.h"
+#include "stream/window.h"
+
+int main() {
+  psky::StockConfig config;
+  config.seed = 20260705;
+  psky::StockStreamGenerator ticker(config);
+
+  const int kWindow = 5000;
+  const double q = 0.3;
+
+  // One operator instance per query style (they share the stream).
+  psky::TopKSkylineOperator top5(/*dims=*/2, q, /*k=*/5);
+  psky::MskyOperator bands(/*dims=*/2, {0.9, 0.6, q});
+  psky::CountWindow window(kWindow);
+
+  for (int i = 0; i < 30000; ++i) {
+    const psky::UncertainElement deal = ticker.Next();
+    if (auto expired = window.Push(deal)) {
+      top5.Expire(*expired);
+      bands.Expire(*expired);
+    }
+    top5.Insert(deal);
+    bands.Insert(deal);
+  }
+
+  std::printf("last price: $%.2f, window = %d most recent deals\n\n",
+              ticker.current_price(), kWindow);
+
+  std::printf("top-5 deals by skyline probability (P_sky >= %.1f):\n", q);
+  for (const psky::SkylineMember& m : top5.TopK()) {
+    std::printf("  $%7.2f x %6.0f shares   P=%.2f  P_sky=%.3f\n",
+                m.element.pos[0], -m.element.pos[1], m.element.prob, m.psky);
+  }
+
+  std::printf("\ncontinuous multi-confidence subscription:\n");
+  for (int band = 1; band <= bands.num_thresholds(); ++band) {
+    std::printf("  >= %.1f confidence: %zu deals\n",
+                bands.thresholds()[static_cast<size_t>(band) - 1],
+                bands.skyline_count(band));
+  }
+
+  std::printf("\nad-hoc query: deals with P_sky >= 0.75:\n");
+  for (const psky::SkylineMember& m : bands.AdHocQuery(0.75)) {
+    std::printf("  $%7.2f x %6.0f shares   P_sky=%.3f\n", m.element.pos[0],
+                -m.element.pos[1], m.psky);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Lightweight assertion macros for invariant checking.
+//
+// The library is built without exceptions (Google style); fatal invariant
+// violations abort with a diagnostic. PSKY_DCHECK compiles away in release
+// builds (NDEBUG) and is used on hot paths.
+
+#ifndef PSKY_BASE_CHECK_H_
+#define PSKY_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PSKY_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PSKY_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PSKY_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PSKY_CHECK failed: %s (%s) at %s:%d\n", #cond,  \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define PSKY_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PSKY_DCHECK(cond) PSKY_CHECK(cond)
+#endif
+
+#endif  // PSKY_BASE_CHECK_H_

@@ -1,0 +1,43 @@
+#include "base/stats.h"
+
+#include <cmath>
+
+namespace psky {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void LatencyRecorder::AddBatchSeconds(double seconds) {
+  stats_.Add(seconds);
+}
+
+double LatencyRecorder::MeanDelayPerElementMicros() const {
+  if (stats_.count() == 0 || batch_size_ == 0) return 0.0;
+  return stats_.mean() * 1e6 / static_cast<double>(batch_size_);
+}
+
+double LatencyRecorder::ElementsPerSecond() const {
+  const double per_elem_s = stats_.mean() / static_cast<double>(batch_size_);
+  if (stats_.count() == 0 || per_elem_s <= 0.0) return 0.0;
+  return 1.0 / per_elem_s;
+}
+
+}  // namespace psky

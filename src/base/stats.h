@@ -1,0 +1,91 @@
+// Small statistics accumulators: running summaries and batch-latency
+// recording used by the figure-reproduction harnesses (the paper reports
+// "average time for each batch of 1K elements").
+
+#ifndef PSKY_BASE_STATS_H_
+#define PSKY_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psky {
+
+/// Streaming min / max / mean / variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Records per-batch processing latencies and derives throughput numbers.
+///
+/// Usage: call StartBatch() / EndBatch() around every `batch_size` stream
+/// elements; query summary statistics afterwards.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t batch_size = 1000)
+      : batch_size_(batch_size) {}
+
+  /// Adds one measured batch duration (seconds).
+  void AddBatchSeconds(double seconds);
+
+  size_t batch_size() const { return batch_size_; }
+  size_t batches() const { return stats_.count(); }
+
+  /// Mean delay per element in microseconds.
+  double MeanDelayPerElementMicros() const;
+
+  /// Mean sustainable throughput in elements per second.
+  double ElementsPerSecond() const;
+
+  const RunningStats& batch_stats() const { return stats_; }
+
+ private:
+  size_t batch_size_;
+  RunningStats stats_;
+};
+
+/// Tracks the maximum of a size-like series; used for the paper's
+/// "maximal |S_{N,q}| / |SKY_{N,q}| over the whole stream" space metric.
+class PeakTracker {
+ public:
+  void Observe(size_t value) {
+    if (value > peak_) peak_ = value;
+    sum_ += value;
+    ++count_;
+  }
+
+  size_t peak() const { return peak_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  size_t count() const { return count_; }
+
+ private:
+  size_t peak_ = 0;
+  uint64_t sum_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_STATS_H_

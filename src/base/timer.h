@@ -1,0 +1,41 @@
+// Monotonic wall-clock timing helpers used by the benchmark harnesses.
+
+#ifndef PSKY_BASE_TIMER_H_
+#define PSKY_BASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace psky {
+
+/// Monotonic stopwatch; Start() is implicit at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed time in nanoseconds as an integer.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_TIMER_H_

@@ -1,0 +1,123 @@
+#include "core/naive_operator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "geom/dominance.h"
+
+namespace psky {
+
+NaiveSkylineOperator::NaiveSkylineOperator(int dims, double q)
+    : dims_(dims), q_(q), q_log_(std::log(q)) {
+  PSKY_CHECK_MSG(dims >= 1 && dims <= kMaxDims, "dims out of range");
+  PSKY_CHECK_MSG(q > 1e-9 && q <= 1.0, "threshold must be in (1e-9, 1]");
+}
+
+void NaiveSkylineOperator::Insert(const UncertainElement& raw) {
+  ++stats_.arrivals;
+  UncertainElement e = raw;
+  e.prob = ClampProb(e.prob);
+  const double e_log_factor = LogOneMinusProb(e.prob);
+
+  // 1) P_old of the arrival over the current candidate set, and P_new
+  //    updates of the candidates it dominates.
+  double pold_log_new = 0.0;
+  for (Entry& entry : set_) {
+    ++stats_.elements_touched;
+    if (Dominates(entry.elem.pos, e.pos)) {
+      pold_log_new += LogOneMinusProb(entry.elem.prob);
+    } else if (Dominates(e.pos, entry.elem.pos)) {
+      entry.pnew_log += e_log_factor;
+    }
+  }
+
+  // 2) Evict candidates whose P_new dropped below q.
+  std::vector<Entry> evicted;
+  size_t keep = 0;
+  for (size_t i = 0; i < set_.size(); ++i) {
+    if (set_[i].pnew_log < q_log_) {
+      evicted.push_back(set_[i]);
+    } else {
+      set_[keep++] = set_[i];
+    }
+  }
+  set_.resize(keep);
+  stats_.evictions += evicted.size();
+
+  // 3) Survivors dominated by an evictee lose that factor from their
+  //    restricted P_old. (By Lemma 2 every such evictee is older than the
+  //    survivor, so the factor lives in P_old, never in P_new.)
+  if (!evicted.empty()) {
+    for (Entry& entry : set_) {
+      for (const Entry& gone : evicted) {
+        ++stats_.elements_touched;
+        if (Dominates(gone.elem.pos, entry.elem.pos)) {
+          entry.pold_log -= LogOneMinusProb(gone.elem.prob);
+        }
+      }
+    }
+  }
+
+  // 4) The arrival always joins S_{N,q} (its P_new is 1).
+  set_.push_back(Entry{e, /*pnew_log=*/0.0, /*pold_log=*/pold_log_new});
+}
+
+void NaiveSkylineOperator::Expire(const UncertainElement& e) {
+  ++stats_.expirations;
+  // The expiring element may have been evicted earlier; then its factor is
+  // already absent from every restricted probability.
+  auto it = std::find_if(set_.begin(), set_.end(), [&e](const Entry& entry) {
+    return entry.elem.seq == e.seq;
+  });
+  if (it == set_.end()) return;
+  const UncertainElement gone = it->elem;
+  set_.erase(it);
+  const double gone_log = LogOneMinusProb(gone.prob);
+  for (Entry& entry : set_) {
+    ++stats_.elements_touched;
+    if (Dominates(gone.pos, entry.elem.pos)) {
+      entry.pold_log -= gone_log;
+    }
+  }
+}
+
+size_t NaiveSkylineOperator::skyline_count() const {
+  size_t n = 0;
+  for (const Entry& entry : set_) {
+    if (entry.psky_log() >= q_log_) ++n;
+  }
+  return n;
+}
+
+std::vector<SkylineMember> NaiveSkylineOperator::Collect(
+    bool skyline_only) const {
+  std::vector<SkylineMember> out;
+  for (const Entry& entry : set_) {
+    const double psky_log = entry.psky_log();
+    const bool in_sky = psky_log >= q_log_;
+    if (skyline_only && !in_sky) continue;
+    SkylineMember m;
+    m.element = entry.elem;
+    m.pnew = std::exp(entry.pnew_log);
+    m.pold = std::exp(entry.pold_log);
+    m.psky = std::exp(psky_log);
+    m.in_skyline = in_sky;
+    out.push_back(m);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SkylineMember& a, const SkylineMember& b) {
+              return a.element.seq < b.element.seq;
+            });
+  return out;
+}
+
+std::vector<SkylineMember> NaiveSkylineOperator::Skyline() const {
+  return Collect(/*skyline_only=*/true);
+}
+
+std::vector<SkylineMember> NaiveSkylineOperator::Candidates() const {
+  return Collect(/*skyline_only=*/false);
+}
+
+}  // namespace psky

@@ -1,0 +1,61 @@
+// The paper's "trivial algorithm" (beginning of Section IV): maintain the
+// candidate set S_{N,q} as a flat list and touch every member on each
+// arrival / expiry. Amortized O(|S_{N,q}|) per element.
+//
+// Roles in this repository:
+//   * reference semantics — the efficient SSKY operator is validated
+//     against it step-by-step;
+//   * the baseline of the paper's inline claim that SSKY is ~20x faster
+//     (bench/bench_trivial_vs_ssky).
+
+#ifndef PSKY_CORE_NAIVE_OPERATOR_H_
+#define PSKY_CORE_NAIVE_OPERATOR_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/operator.h"
+
+namespace psky {
+
+/// Flat-list continuous q-skyline operator.
+class NaiveSkylineOperator : public WindowSkylineOperator {
+ public:
+  /// `dims` is the stream dimensionality, `q` the probability threshold
+  /// (must lie in (1e-9, 1]).
+  NaiveSkylineOperator(int dims, double q);
+
+  void Insert(const UncertainElement& e) override;
+  void Expire(const UncertainElement& e) override;
+
+  size_t candidate_count() const override { return set_.size(); }
+  size_t skyline_count() const override;
+  std::vector<SkylineMember> Skyline() const override;
+  std::vector<SkylineMember> Candidates() const override;
+  const OperatorStats& stats() const override { return stats_; }
+  double threshold() const override { return q_; }
+  int dims() const override { return dims_; }
+
+ private:
+  // Probability bookkeeping is kept in log space; see operator.h.
+  struct Entry {
+    UncertainElement elem;
+    double pnew_log = 0.0;
+    double pold_log = 0.0;
+    double psky_log() const {
+      return std::log(elem.prob) + pnew_log + pold_log;
+    }
+  };
+
+  std::vector<SkylineMember> Collect(bool skyline_only) const;
+
+  int dims_;
+  double q_;
+  double q_log_;
+  std::vector<Entry> set_;
+  OperatorStats stats_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_NAIVE_OPERATOR_H_

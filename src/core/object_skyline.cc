@@ -1,0 +1,122 @@
+#include "core/object_skyline.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "geom/dominance.h"
+#include "geom/mbr.h"
+
+namespace psky {
+
+UncertainObject DiscretizeByMonteCarlo(
+    uint64_t id, int m, Rng& rng, const std::function<Point(Rng&)>& sampler) {
+  PSKY_CHECK_MSG(m > 0, "instance count must be positive");
+  UncertainObject obj;
+  obj.id = id;
+  obj.instances.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) obj.instances.push_back(sampler(rng));
+  return obj;
+}
+
+double ObjectSkylineProbability(const std::vector<UncertainObject>& window,
+                                size_t index) {
+  PSKY_CHECK(index < window.size());
+  const UncertainObject& u = window[index];
+  PSKY_CHECK(!u.instances.empty());
+  double total = 0.0;
+  for (const Point& inst : u.instances) {
+    double prod = 1.0;
+    for (size_t v = 0; v < window.size(); ++v) {
+      if (v == index) continue;
+      const UncertainObject& other = window[v];
+      size_t dominating = 0;
+      for (const Point& vi : other.instances) {
+        if (Dominates(vi, inst)) ++dominating;
+      }
+      prod *= 1.0 - static_cast<double>(dominating) /
+                        static_cast<double>(other.instances.size());
+    }
+    total += prod;
+  }
+  return total / static_cast<double>(u.instances.size());
+}
+
+ObjectSkylineOperator::ObjectSkylineOperator(int dims, double q)
+    : dims_(dims), q_(q), instances_(dims) {
+  PSKY_CHECK_MSG(q > 0.0 && q <= 1.0, "threshold must be in (0, 1]");
+}
+
+void ObjectSkylineOperator::Insert(const UncertainObject& obj) {
+  PSKY_CHECK_MSG(!obj.instances.empty(), "object must have instances");
+  PSKY_CHECK_MSG(slot_by_id_.find(obj.id) == slot_by_id_.end(),
+                 "duplicate live object id");
+  PSKY_CHECK_MSG(obj.instances.size() < (uint64_t{1} << 20),
+                 "too many instances per object");
+  const uint64_t slot = next_slot_++;
+  for (size_t i = 0; i < obj.instances.size(); ++i) {
+    PSKY_CHECK(obj.instances[i].dims() == dims_);
+    instances_.Insert(obj.instances[i], PackId(slot, i));
+  }
+  slot_by_id_[obj.id] = slot;
+  objects_by_slot_[slot] = obj;
+}
+
+void ObjectSkylineOperator::Expire(uint64_t id) {
+  auto it = slot_by_id_.find(id);
+  if (it == slot_by_id_.end()) return;
+  const uint64_t slot = it->second;
+  const UncertainObject& obj = objects_by_slot_.at(slot);
+  for (size_t i = 0; i < obj.instances.size(); ++i) {
+    const bool erased = instances_.Erase(obj.instances[i], PackId(slot, i));
+    PSKY_CHECK_MSG(erased, "instance missing from index");
+  }
+  objects_by_slot_.erase(slot);
+  slot_by_id_.erase(it);
+}
+
+double ObjectSkylineOperator::SkylineProbabilityOfSlot(uint64_t slot) const {
+  const UncertainObject& u = objects_by_slot_.at(slot);
+  double total = 0.0;
+  // Reused dominance-count scratch; sized lazily per query.
+  std::unordered_map<uint64_t, size_t> dominating;
+  for (const Point& inst : u.instances) {
+    dominating.clear();
+    // All indexed instances inside the dominance region of `inst`.
+    instances_.Traverse(
+        [&inst](const Mbr& mbr) {
+          for (int i = 0; i < inst.dims(); ++i) {
+            if (mbr.min()[i] > inst[i]) return false;
+          }
+          return true;
+        },
+        [&inst, &dominating, slot](const RTree::Item& item) {
+          if (SlotOf(item.id) == slot) return;
+          if (Dominates(item.pos, inst)) ++dominating[SlotOf(item.id)];
+        });
+    double prod = 1.0;
+    for (const auto& [other_slot, count] : dominating) {
+      const auto& other = objects_by_slot_.at(other_slot);
+      prod *= 1.0 - static_cast<double>(count) /
+                        static_cast<double>(other.instances.size());
+    }
+    total += prod;
+  }
+  return total / static_cast<double>(u.instances.size());
+}
+
+double ObjectSkylineOperator::SkylineProbability(uint64_t id) const {
+  auto it = slot_by_id_.find(id);
+  if (it == slot_by_id_.end()) return 0.0;
+  return SkylineProbabilityOfSlot(it->second);
+}
+
+std::vector<uint64_t> ObjectSkylineOperator::Skyline() const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, slot] : slot_by_id_) {
+    if (SkylineProbabilityOfSlot(slot) >= q_) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace psky

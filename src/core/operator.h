@@ -1,0 +1,125 @@
+// Common interface of sliding-window probabilistic skyline operators.
+//
+// Both the naive reference operator (the paper's "trivial algorithm") and
+// the efficient SSKY operator implement this interface, so drivers, tests
+// and benchmarks can run them interchangeably. The driver contract follows
+// the paper's Algorithm 1: when the window is full, Expire(oldest) is
+// called before Insert(new).
+
+#ifndef PSKY_CORE_OPERATOR_H_
+#define PSKY_CORE_OPERATOR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stream/element.h"
+#include "stream/window.h"
+
+namespace psky {
+
+/// A candidate-set member with its probability decomposition.
+///
+/// `pnew` / `pold` are restricted to the maintained candidate set S_{N,q};
+/// by the paper's Theorems 2–4 this loses nothing: skyline membership
+/// decided on the restricted values is exact.
+struct SkylineMember {
+  UncertainElement element;
+  double pnew = 1.0;
+  double pold = 1.0;
+  double psky = 1.0;  ///< element.prob * pnew * pold
+  bool in_skyline = false;
+};
+
+/// Operation counters for efficiency studies.
+struct OperatorStats {
+  uint64_t arrivals = 0;
+  uint64_t expirations = 0;
+  /// Elements dropped from S_{N,q} because P_new fell below q.
+  uint64_t evictions = 0;
+  /// Tree nodes (or naive entries) visited across all operations.
+  uint64_t nodes_visited = 0;
+  /// Individual elements whose state was read or written.
+  uint64_t elements_touched = 0;
+};
+
+/// Abstract continuous q-skyline operator over a sliding window.
+class WindowSkylineOperator {
+ public:
+  virtual ~WindowSkylineOperator() = default;
+
+  /// Processes the arrival of a new element (the paper's Inserting()).
+  virtual void Insert(const UncertainElement& e) = 0;
+
+  /// Processes the expiry of the window's oldest element (Expiring()).
+  /// `e` must be the element leaving the window; it may or may not still
+  /// be in the candidate set.
+  virtual void Expire(const UncertainElement& e) = 0;
+
+  /// |S_{N,q}|: current candidate-set size.
+  virtual size_t candidate_count() const = 0;
+
+  /// |SKY_{N,q}|: current number of q-skyline elements.
+  virtual size_t skyline_count() const = 0;
+
+  /// Current q-skyline, sorted by arrival sequence.
+  virtual std::vector<SkylineMember> Skyline() const = 0;
+
+  /// Entire candidate set S_{N,q}, sorted by arrival sequence.
+  virtual std::vector<SkylineMember> Candidates() const = 0;
+
+  virtual const OperatorStats& stats() const = 0;
+
+  virtual double threshold() const = 0;
+  virtual int dims() const = 0;
+};
+
+/// Convenience driver implementing the paper's Algorithm 1 over a
+/// count-based window: feeds arrivals, triggers expiries.
+class StreamProcessor {
+ public:
+  StreamProcessor(WindowSkylineOperator* op, size_t window_size)
+      : op_(op), window_(window_size) {}
+
+  /// Advances the stream by one element.
+  void Step(const UncertainElement& e) {
+    if (auto expired = window_.Push(e)) {
+      op_->Expire(*expired);
+    }
+    op_->Insert(e);
+  }
+
+  const CountWindow& window() const { return window_; }
+  WindowSkylineOperator* op() const { return op_; }
+
+ private:
+  WindowSkylineOperator* op_;
+  CountWindow window_;
+};
+
+/// Occurrence probabilities are clamped into [kMinElementProb,
+/// kMaxElementProb] on ingestion so that (1 - P) factors are never exactly
+/// zero; this keeps the multiplicative P_old bookkeeping invertible. The
+/// induced error on any reported probability is below 1e-9 and therefore
+/// invisible at any meaningful threshold q.
+inline constexpr double kMinElementProb = 1e-12;
+inline constexpr double kMaxElementProb = 1.0 - 1e-12;
+
+/// Clamps an occurrence probability to the supported open interval.
+inline double ClampProb(double p) {
+  if (p < kMinElementProb) return kMinElementProb;
+  if (p > kMaxElementProb) return kMaxElementProb;
+  return p;
+}
+
+/// All operators keep P_new / P_old bookkeeping in log space: an element
+/// can accumulate thousands of (1 - P) factors, whose product underflows
+/// double precision, and P_old must remain exactly divisible when a
+/// dominator leaves the candidate set. log1p(-p) of a clamped probability
+/// is finite (>= ~-27.6), sums never underflow, and subtracting the same
+/// rounded constant that was added cancels exactly.
+inline double LogOneMinusProb(double p) { return std::log1p(-p); }
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_OPERATOR_H_

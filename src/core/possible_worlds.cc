@@ -1,0 +1,82 @@
+#include "core/possible_worlds.h"
+
+#include "base/check.h"
+#include "geom/dominance.h"
+
+namespace psky {
+
+double SkylineProbabilityByEnumeration(
+    const std::vector<UncertainElement>& elems, size_t index) {
+  const size_t n = elems.size();
+  PSKY_CHECK_MSG(n <= kMaxEnumerationElements,
+                 "enumeration oracle limited to small sets");
+  PSKY_CHECK(index < n);
+
+  double total = 0.0;
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t world = 0; world < worlds; ++world) {
+    if ((world & (uint64_t{1} << index)) == 0) continue;  // a not in W
+    // Is elems[index] on the skyline of this world?
+    bool on_skyline = true;
+    for (size_t j = 0; j < n && on_skyline; ++j) {
+      if ((world & (uint64_t{1} << j)) == 0) continue;
+      if (Dominates(elems[j].pos, elems[index].pos)) on_skyline = false;
+    }
+    if (!on_skyline) continue;
+    double pw = 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      const bool present = (world & (uint64_t{1} << j)) != 0;
+      pw *= present ? elems[j].prob : (1.0 - elems[j].prob);
+    }
+    total += pw;
+  }
+  return total;
+}
+
+double SkylineProbabilityByFormula(const std::vector<UncertainElement>& elems,
+                                   size_t index) {
+  PSKY_CHECK(index < elems.size());
+  double p = elems[index].prob;
+  for (size_t j = 0; j < elems.size(); ++j) {
+    if (j == index) continue;
+    if (Dominates(elems[j].pos, elems[index].pos)) {
+      p *= 1.0 - elems[j].prob;
+    }
+  }
+  return p;
+}
+
+std::vector<double> AllSkylineProbabilities(
+    const std::vector<UncertainElement>& elems) {
+  std::vector<double> out(elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) {
+    out[i] = SkylineProbabilityByFormula(elems, i);
+  }
+  return out;
+}
+
+double PnewOf(const std::vector<UncertainElement>& elems, size_t index) {
+  PSKY_CHECK(index < elems.size());
+  double p = 1.0;
+  for (size_t j = 0; j < elems.size(); ++j) {
+    if (elems[j].seq > elems[index].seq &&
+        Dominates(elems[j].pos, elems[index].pos)) {
+      p *= 1.0 - elems[j].prob;
+    }
+  }
+  return p;
+}
+
+double PoldOf(const std::vector<UncertainElement>& elems, size_t index) {
+  PSKY_CHECK(index < elems.size());
+  double p = 1.0;
+  for (size_t j = 0; j < elems.size(); ++j) {
+    if (elems[j].seq < elems[index].seq &&
+        Dominates(elems[j].pos, elems[index].pos)) {
+      p *= 1.0 - elems[j].prob;
+    }
+  }
+  return p;
+}
+
+}  // namespace psky

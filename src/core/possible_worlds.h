@@ -1,0 +1,47 @@
+// Ground-truth skyline probabilities.
+//
+// Two independent evaluators:
+//   * enumeration over all 2^n possible worlds (paper Section II-A) — the
+//     definition itself, exponential, for n <= kMaxEnumerationElements;
+//   * the closed form of Eq. (1): P_sky(a) = P(a) * Π_{a' ≺ a} (1 - P(a')).
+//
+// Tests verify the two agree, then use the closed form as the oracle for
+// the incremental operators.
+
+#ifndef PSKY_CORE_POSSIBLE_WORLDS_H_
+#define PSKY_CORE_POSSIBLE_WORLDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace psky {
+
+/// Largest set size accepted by the enumeration evaluator.
+inline constexpr size_t kMaxEnumerationElements = 20;
+
+/// P_sky of elems[index] by summing P(W) over every possible world W in
+/// which the element occurs and lies on the skyline of W.
+double SkylineProbabilityByEnumeration(
+    const std::vector<UncertainElement>& elems, size_t index);
+
+/// P_sky of elems[index] by Eq. (1).
+double SkylineProbabilityByFormula(const std::vector<UncertainElement>& elems,
+                                   size_t index);
+
+/// Eq. (1) for every element; O(n^2).
+std::vector<double> AllSkylineProbabilities(
+    const std::vector<UncertainElement>& elems);
+
+/// P_new of elems[index] within `elems` (Eq. (2)): product of (1 - P(a'))
+/// over dominators that arrived later (larger seq).
+double PnewOf(const std::vector<UncertainElement>& elems, size_t index);
+
+/// P_old of elems[index] within `elems` (Eq. (3)): product of (1 - P(a'))
+/// over dominators that arrived earlier (smaller seq).
+double PoldOf(const std::vector<UncertainElement>& elems, size_t index);
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_POSSIBLE_WORLDS_H_

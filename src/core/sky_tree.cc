@@ -1,0 +1,891 @@
+#include "core/sky_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "base/check.h"
+#include "geom/dominance.h"
+#include "rtree/split.h"
+
+namespace psky {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SkyTree::SkyTree(int dims, std::vector<double> thresholds)
+    : SkyTree(dims, std::move(thresholds), Options()) {}
+
+SkyTree::SkyTree(int dims, std::vector<double> thresholds, Options options)
+    : dims_(dims), thresholds_(std::move(thresholds)), options_(options) {
+  PSKY_CHECK_MSG(dims >= 1 && dims <= kMaxDims, "dims out of range");
+  PSKY_CHECK_MSG(!thresholds_.empty(), "at least one threshold required");
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    PSKY_CHECK_MSG(thresholds_[i] > 1e-9 && thresholds_[i] <= 1.0,
+                   "threshold must be in (1e-9, 1]");
+    if (i > 0) {
+      PSKY_CHECK_MSG(thresholds_[i] < thresholds_[i - 1],
+                     "thresholds must be strictly decreasing");
+    }
+    thresholds_log_.push_back(std::log(thresholds_[i]));
+  }
+  PSKY_CHECK_MSG(options_.min_entries >= 2, "min_entries must be >= 2");
+  PSKY_CHECK_MSG(options_.max_entries >= 2 * options_.min_entries,
+                 "max_entries must be >= 2 * min_entries");
+  root_ = std::make_unique<Node>();
+  root_->is_leaf = true;
+  root_->mbr = Mbr::Empty(dims_);
+  RecomputeAgg(root_.get());
+  band_counts_.assign(thresholds_.size() + 2, 0);
+}
+
+size_t SkyTree::size() const {
+  return static_cast<size_t>(root_->count);
+}
+
+size_t SkyTree::band_size(int band) const {
+  PSKY_CHECK(band >= 1 && band <= num_thresholds() + 1);
+  return band_counts_[static_cast<size_t>(band)];
+}
+
+size_t SkyTree::CountUpToBand(int band) const {
+  PSKY_CHECK(band >= 1 && band <= num_thresholds() + 1);
+  size_t total = 0;
+  for (int b = 1; b <= band; ++b) {
+    total += band_counts_[static_cast<size_t>(b)];
+  }
+  return total;
+}
+
+void SkyTree::RebandElem(Elem* el) {
+  const int band = BandOf(PskyLogOf(*el));
+  if (band != el->band) {
+    --band_counts_[static_cast<size_t>(el->band)];
+    ++band_counts_[static_cast<size_t>(band)];
+    RecordEvent(el->seq, el->band, band);
+    el->band = band;
+    ++counters_.band_flips;
+  }
+}
+
+std::vector<SkyTree::BandChange> SkyTree::TakeBandChanges() {
+  std::vector<BandChange> out;
+  out.swap(events_);
+  return out;
+}
+
+int SkyTree::BandOf(double psky_log) const {
+  const int k = num_thresholds();
+  for (int i = 0; i < k; ++i) {
+    if (psky_log >= thresholds_log_[static_cast<size_t>(i)]) return i + 1;
+  }
+  return k + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Probability plumbing.
+// ---------------------------------------------------------------------------
+
+void SkyTree::ApplyNewAddend(Node* n, double addend) {
+  n->min_pnew_log += addend;
+  n->max_pnew_log += addend;
+  n->min_psky_log += addend;
+  n->max_psky_log += addend;
+  n->lazy_new_log += addend;
+  n->dirty_all = true;
+  if (!options_.use_lazy) PushDownRecursive(n);
+}
+
+void SkyTree::ApplyOldAddend(Node* n, double addend) {
+  n->min_psky_log += addend;
+  n->max_psky_log += addend;
+  n->lazy_old_log += addend;
+  n->dirty_all = true;
+  if (!options_.use_lazy) PushDownRecursive(n);
+}
+
+void SkyTree::PushDown(Node* n) {
+  if (n->lazy_new_log == 0.0 && n->lazy_old_log == 0.0) return;
+  ++counters_.pushdowns;
+  if (n->is_leaf) {
+    for (Elem& e : n->elems) {
+      e.pnew_log += n->lazy_new_log;
+      e.pold_log += n->lazy_old_log;
+      ++counters_.elements_touched;
+    }
+  } else {
+    const double psky_addend = n->lazy_new_log + n->lazy_old_log;
+    for (auto& child : n->children) {
+      child->lazy_new_log += n->lazy_new_log;
+      child->lazy_old_log += n->lazy_old_log;
+      child->min_pnew_log += n->lazy_new_log;
+      child->max_pnew_log += n->lazy_new_log;
+      child->min_psky_log += psky_addend;
+      child->max_psky_log += psky_addend;
+    }
+  }
+  n->lazy_new_log = 0.0;
+  n->lazy_old_log = 0.0;
+}
+
+void SkyTree::PushDownRecursive(Node* n) {
+  PushDown(n);
+  if (!n->is_leaf) {
+    for (auto& child : n->children) PushDownRecursive(child.get());
+  }
+}
+
+void SkyTree::RecomputeProbAgg(Node* n) {
+  PSKY_DCHECK(n->lazy_new_log == 0.0 && n->lazy_old_log == 0.0);
+  double min_pnew = kInf, max_pnew = -kInf;
+  double min_psky = kInf, max_psky = -kInf;
+  int band_lo = std::numeric_limits<int>::max();
+  int band_hi = 0;
+  if (n->is_leaf) {
+    for (const Elem& e : n->elems) {
+      min_pnew = std::min(min_pnew, e.pnew_log);
+      max_pnew = std::max(max_pnew, e.pnew_log);
+      const double psky = PskyLogOf(e);
+      min_psky = std::min(min_psky, psky);
+      max_psky = std::max(max_psky, psky);
+      band_lo = std::min(band_lo, e.band);
+      band_hi = std::max(band_hi, e.band);
+    }
+  } else {
+    for (const auto& child : n->children) {
+      min_pnew = std::min(min_pnew, child->min_pnew_log);
+      max_pnew = std::max(max_pnew, child->max_pnew_log);
+      min_psky = std::min(min_psky, child->min_psky_log);
+      max_psky = std::max(max_psky, child->max_psky_log);
+      band_lo = std::min(band_lo, child->band_lo);
+      band_hi = std::max(band_hi, child->band_hi);
+    }
+  }
+  n->min_pnew_log = min_pnew;
+  n->max_pnew_log = max_pnew;
+  n->min_psky_log = min_psky;
+  n->max_psky_log = max_psky;
+  n->band_lo = band_lo;
+  n->band_hi = band_hi;
+}
+
+void SkyTree::RecomputeAgg(Node* n) {
+  PSKY_DCHECK(n->lazy_new_log == 0.0 && n->lazy_old_log == 0.0);
+  Mbr mbr = Mbr::Empty(dims_);
+  int64_t count = 0;
+  double pnoc_log = 0.0;
+  if (n->is_leaf) {
+    for (const Elem& e : n->elems) {
+      mbr.Expand(e.pos);
+      ++count;
+      pnoc_log += e.log_one_minus_prob;
+    }
+  } else {
+    for (const auto& child : n->children) {
+      mbr.Expand(child->mbr);
+      count += child->count;
+      pnoc_log += child->pnoc_log;
+    }
+  }
+  n->mbr = mbr;
+  n->count = count;
+  n->pnoc_log = pnoc_log;
+  RecomputeProbAgg(n);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival (paper Algorithm 4 with Algorithms 5-10 fused into traversals).
+// ---------------------------------------------------------------------------
+
+bool SkyTree::ProcessArrival(Node* n, const UncertainElement& e,
+                             double arrival_log_factor,
+                             double* pold_log_acc) {
+  ++counters_.nodes_visited;
+  if (n->count == 0) return false;
+
+  const PointEntryRelation rel = ClassifyPointEntry(e.pos, n->mbr);
+  // Entries fully dominating the arrival contribute their no-occurrence
+  // probability to P_old(a_new) wholesale (Algorithm 4 lines 3-5).
+  if (rel.entry_over_point == DomRelation::kFull) {
+    *pold_log_acc += n->pnoc_log;
+    return false;
+  }
+  // Entries fully dominated by the arrival get the (1 - P(a_new)) factor
+  // applied to their whole subtree lazily (Algorithm 8 line 6).
+  if (rel.point_over_entry == DomRelation::kFull) {
+    ApplyNewAddend(n, arrival_log_factor);
+    return true;
+  }
+  if (rel.entry_over_point == DomRelation::kNone &&
+      rel.point_over_entry == DomRelation::kNone) {
+    return false;
+  }
+
+  // Partial overlap in either direction: descend (queues C1/C2/C12 of
+  // Algorithms 5, 7, 8 collapse into this recursion).
+  PushDown(n);
+  bool changed = false;
+  if (n->is_leaf) {
+    for (Elem& el : n->elems) {
+      ++counters_.elements_touched;
+      const int rel = DominanceCompare(el.pos, e.pos);
+      if (rel & 1) {
+        *pold_log_acc += el.log_one_minus_prob;
+      } else if (rel & 2) {
+        el.pnew_log += arrival_log_factor;
+        changed = true;
+      }
+    }
+    if (changed) n->dirty_all = true;
+  } else {
+    for (auto& child : n->children) {
+      changed |= ProcessArrival(child.get(), e, arrival_log_factor,
+                                pold_log_acc);
+    }
+  }
+  if (changed) {
+    n->dirty_some = true;
+    RecomputeProbAgg(n);
+  }
+  return changed;
+}
+
+void SkyTree::CollectElems(Node* n, std::vector<Elem>* out) {
+  PushDown(n);
+  if (n->is_leaf) {
+    counters_.elements_touched += n->elems.size();
+    out->insert(out->end(), n->elems.begin(), n->elems.end());
+    return;
+  }
+  for (auto& child : n->children) CollectElems(child.get(), out);
+}
+
+bool SkyTree::EvictPhase(Node* n, bool is_root, std::vector<Elem>* evicted,
+                         std::vector<Elem>* reinsert) {
+  ++counters_.nodes_visited;
+  const double qk_log = thresholds_log_.back();
+  if (n->count == 0) return !is_root;
+
+  if (options_.use_minmax_pruning) {
+    // Nothing below can fall under the retention threshold: keep wholesale
+    // (Algorithm 9 line 10).
+    if (n->min_pnew_log >= qk_log) return false;
+    // Everything below falls under: evict wholesale (Algorithm 9 line 11).
+    if (n->max_pnew_log < qk_log) {
+      CollectElems(n, evicted);
+      if (is_root) {
+        // The root has no parent to detach it; empty it in place.
+        n->is_leaf = true;
+        n->children.clear();
+        n->elems.clear();
+        n->lazy_new_log = n->lazy_old_log = 0.0;
+        n->dirty_some = n->dirty_all = false;
+        RecomputeAgg(n);
+        return false;
+      }
+      return true;
+    }
+  }
+
+  // Note: eviction itself never changes a survivor's P_sky (the departed
+  // dominators' factors are restored in the separate P_old phase), so
+  // this phase does not dirty anything for Reflag.
+  PushDown(n);
+  if (n->is_leaf) {
+    size_t keep = 0;
+    for (size_t i = 0; i < n->elems.size(); ++i) {
+      ++counters_.elements_touched;
+      if (n->elems[i].pnew_log < qk_log) {
+        evicted->push_back(n->elems[i]);
+      } else {
+        n->elems[keep++] = n->elems[i];
+      }
+    }
+    n->elems.resize(keep);
+    RecomputeAgg(n);
+    if (n->elems.empty()) return !is_root;
+    if (!is_root && n->Fanout() < options_.min_entries) {
+      CollectElems(n, reinsert);
+      return true;
+    }
+    return false;
+  }
+
+  for (size_t i = 0; i < n->children.size();) {
+    if (EvictPhase(n->children[i].get(), /*is_root=*/false, evicted,
+                   reinsert)) {
+      n->children.erase(n->children.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (n->children.empty()) return !is_root;
+  RecomputeAgg(n);
+  if (!is_root && n->Fanout() < options_.min_entries) {
+    CollectElems(n, reinsert);
+    return true;
+  }
+  return false;
+}
+
+bool SkyTree::ApplyOldForDominator(Node* n, const Point& pos,
+                                   double addend) {
+  ++counters_.nodes_visited;
+  if (n->count == 0) return false;
+  const DomRelation rel = ClassifyPointEntry(pos, n->mbr).point_over_entry;
+  if (rel == DomRelation::kNone) return false;
+  if (rel == DomRelation::kFull && options_.use_minmax_pruning) {
+    // The departed dominator dominated everything below: restore the
+    // whole subtree's P_old lazily (the paper's UpdateOld with P_noc,
+    // and Algorithm 11 line 5).
+    ApplyOldAddend(n, addend);
+    return true;
+  }
+  PushDown(n);
+  bool changed = false;
+  if (n->is_leaf) {
+    for (Elem& el : n->elems) {
+      ++counters_.elements_touched;
+      if (Dominates(pos, el.pos)) {
+        el.pold_log += addend;
+        changed = true;
+      }
+    }
+    if (changed) n->dirty_all = true;
+  } else {
+    for (auto& child : n->children) {
+      changed |= ApplyOldForDominator(child.get(), pos, addend);
+    }
+  }
+  if (changed) {
+    n->dirty_some = true;
+    RecomputeProbAgg(n);
+  }
+  return changed;
+}
+
+void SkyTree::Reflag(Node* n) {
+  if (!n->dirty_some && !n->dirty_all) return;
+  ++counters_.nodes_visited;
+  if (n->count == 0) {
+    n->dirty_some = n->dirty_all = false;
+    return;
+  }
+  if (options_.use_minmax_pruning) {
+    // If the P_sky bounds pin the whole subtree into the single band it is
+    // already classified as, nothing below can flip (Algorithm 10 line 3's
+    // complement, and Algorithm 11's Move pruning).
+    const int lo = BandOf(n->max_psky_log);
+    const int hi = BandOf(n->min_psky_log);
+    if (lo == hi && n->band_lo == lo && n->band_hi == lo) {
+      n->dirty_some = n->dirty_all = false;
+      return;
+    }
+  }
+  PushDown(n);
+  if (n->is_leaf) {
+    for (Elem& el : n->elems) {
+      ++counters_.elements_touched;
+      const int band = BandOf(PskyLogOf(el));
+      if (band != el.band) {
+        --band_counts_[static_cast<size_t>(el.band)];
+        ++band_counts_[static_cast<size_t>(band)];
+        RecordEvent(el.seq, el.band, band);
+        el.band = band;
+        ++counters_.band_flips;
+      }
+    }
+  } else {
+    for (auto& child : n->children) {
+      if (n->dirty_all) child->dirty_all = true;
+      Reflag(child.get());
+    }
+  }
+  RecomputeProbAgg(n);
+  n->dirty_some = n->dirty_all = false;
+}
+
+// ---------------------------------------------------------------------------
+// Structure maintenance.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SkyTree::Node> SkyTree::Split(Node* n) {
+  PSKY_DCHECK(n->lazy_new_log == 0.0 && n->lazy_old_log == 0.0);
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = n->is_leaf;
+  sibling->dirty_some = n->dirty_some;
+  sibling->dirty_all = n->dirty_all;
+  if (n->is_leaf) {
+    std::vector<Elem> all = std::move(n->elems);
+    n->elems.clear();
+    QuadraticSplit(
+        &all, &n->elems, &sibling->elems,
+        [](const Elem& e) { return Mbr(e.pos); }, options_.min_entries);
+  } else {
+    std::vector<std::unique_ptr<Node>> all = std::move(n->children);
+    n->children.clear();
+    QuadraticSplit(
+        &all, &n->children, &sibling->children,
+        [](const std::unique_ptr<Node>& c) { return c->mbr; },
+        options_.min_entries);
+  }
+  RecomputeAgg(n);
+  RecomputeAgg(sibling.get());
+  return sibling;
+}
+
+std::unique_ptr<SkyTree::Node> SkyTree::InsertRec(Node* n, Elem elem) {
+  ++counters_.nodes_visited;
+  PushDown(n);
+  if (n->is_leaf) {
+    n->elems.push_back(std::move(elem));
+    RecomputeAgg(n);
+    if (n->Fanout() > options_.max_entries) return Split(n);
+    return nullptr;
+  }
+  // Least-enlargement child (ties by area).
+  Node* best = nullptr;
+  double best_enlarge = kInf, best_area = kInf;
+  const Mbr elem_mbr(elem.pos);
+  for (const auto& child : n->children) {
+    const double enlarge = child->mbr.Enlargement(elem_mbr);
+    const double area = child->mbr.Area();
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && area < best_area)) {
+      best_enlarge = enlarge;
+      best_area = area;
+      best = child.get();
+    }
+  }
+  PSKY_DCHECK(best != nullptr);
+  std::unique_ptr<Node> sibling = InsertRec(best, std::move(elem));
+  if (sibling != nullptr) n->children.push_back(std::move(sibling));
+  RecomputeAgg(n);
+  if (n->Fanout() > options_.max_entries) return Split(n);
+  return nullptr;
+}
+
+void SkyTree::InsertElem(Elem elem) {
+  std::unique_ptr<Node> sibling = InsertRec(root_.get(), std::move(elem));
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    // Keep the dirty chain intact: Reflag must still reach the flagged
+    // regions now sitting one level deeper.
+    new_root->dirty_some = root_->dirty_some || root_->dirty_all ||
+                           sibling->dirty_some || sibling->dirty_all;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    RecomputeAgg(new_root.get());
+    root_ = std::move(new_root);
+  }
+}
+
+bool SkyTree::RemoveRec(Node* n, const Point& pos, uint64_t seq,
+                        Elem* removed, std::vector<Elem>* orphans) {
+  ++counters_.nodes_visited;
+  if (n->count == 0 || !n->mbr.Contains(pos)) return false;
+  PushDown(n);
+  if (n->is_leaf) {
+    for (size_t i = 0; i < n->elems.size(); ++i) {
+      if (n->elems[i].seq == seq && n->elems[i].pos == pos) {
+        *removed = n->elems[i];
+        n->elems.erase(n->elems.begin() + static_cast<ptrdiff_t>(i));
+        RecomputeAgg(n);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    Node* child = n->children[i].get();
+    if (!RemoveRec(child, pos, seq, removed, orphans)) continue;
+    if (child->count == 0 || child->Fanout() < options_.min_entries) {
+      if (child->count > 0) CollectElems(child, orphans);
+      n->children.erase(n->children.begin() + static_cast<ptrdiff_t>(i));
+    }
+    RecomputeAgg(n);
+    return true;
+  }
+  return false;
+}
+
+void SkyTree::ShrinkRoot() {
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (!root_->is_leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = true;
+    root_->mbr = Mbr::Empty(dims_);
+    RecomputeAgg(root_.get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public mutation entry points.
+// ---------------------------------------------------------------------------
+
+void SkyTree::Arrive(const UncertainElement& e) {
+  PSKY_DCHECK(e.pos.dims() == dims_);
+  PSKY_DCHECK(e.prob >= kMinElementProb && e.prob <= kMaxElementProb);
+  const double arrival_log_factor = LogOneMinusProb(e.prob);
+
+  // Phase A: P_old(a_new) and P_new updates of dominated candidates.
+  double pold_log_acc = 0.0;
+  ProcessArrival(root_.get(), e, arrival_log_factor, &pold_log_acc);
+
+  // Phase B: evict candidates whose P_new fell below the retention
+  // threshold; condense underfull nodes.
+  std::vector<Elem> evicted;
+  std::vector<Elem> reinsert;
+  EvictPhase(root_.get(), /*is_root=*/true, &evicted, &reinsert);
+  ShrinkRoot();
+  for (Elem& el : reinsert) {
+    // The element left the node that carried its dirty marker; its P_new
+    // may have just changed, so re-band it before it lands elsewhere.
+    RebandElem(&el);
+    InsertElem(std::move(el));
+  }
+
+  // Phase C: survivors dominated by an evictee recover that factor in
+  // their restricted P_old (every evictee is older than any surviving
+  // dominated element, by Lemma 2).
+  counters_.evictions += evicted.size();
+  for (const Elem& gone : evicted) {
+    --band_counts_[static_cast<size_t>(gone.band)];
+    RecordEvent(gone.seq, gone.band, 0);
+    ApplyOldForDominator(root_.get(), gone.pos,
+                         -LogOneMinusProb(gone.prob));
+  }
+
+  // Phase D: the arrival itself always joins S_{N,q} (P_new = 1).
+  Elem elem;
+  elem.pos = e.pos;
+  elem.prob = e.prob;
+  elem.seq = e.seq;
+  elem.time = e.time;
+  elem.pnew_log = 0.0;
+  elem.pold_log = pold_log_acc;
+  elem.log_prob = std::log(e.prob);
+  elem.log_one_minus_prob = LogOneMinusProb(e.prob);
+  elem.band = BandOf(PskyLogOf(elem));
+  ++band_counts_[static_cast<size_t>(elem.band)];
+  RecordEvent(elem.seq, 0, elem.band);
+  InsertElem(std::move(elem));
+
+  // Phase E: re-band every region whose P_sky changed.
+  Reflag(root_.get());
+}
+
+bool SkyTree::Expire(const UncertainElement& e) {
+  Elem removed;
+  std::vector<Elem> orphans;
+  if (!RemoveRec(root_.get(), e.pos, e.seq, &removed, &orphans)) {
+    return false;  // already evicted earlier; nothing to undo
+  }
+  ShrinkRoot();
+  for (Elem& el : orphans) {
+    RebandElem(&el);
+    InsertElem(std::move(el));
+  }
+  --band_counts_[static_cast<size_t>(removed.band)];
+  RecordEvent(removed.seq, removed.band, 0);
+
+  // Elements it dominated recover the factor in their restricted P_old
+  // (Algorithm 11 lines 4-17), then regions it touched are re-banded
+  // (Move, Algorithm 11 line 20).
+  ApplyOldForDominator(root_.get(), removed.pos,
+                       -LogOneMinusProb(removed.prob));
+  Reflag(root_.get());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+SkylineMember SkyTree::MakeMember(const Elem& e, double pnew_log,
+                                  double pold_log) const {
+  SkylineMember m;
+  m.element.pos = e.pos;
+  m.element.prob = e.prob;
+  m.element.seq = e.seq;
+  m.element.time = e.time;
+  m.pnew = std::exp(pnew_log);
+  m.pold = std::exp(pold_log);
+  m.psky = std::exp(e.log_prob + pnew_log + pold_log);
+  m.in_skyline = e.band == 1;
+  return m;
+}
+
+void SkyTree::ForEachNode(
+    const Node* n, double acc_new_log, double acc_old_log,
+    const std::function<void(const Elem&, double pnew_log, double pold_log)>&
+        visit) const {
+  if (n->count == 0) return;
+  const double new_log = acc_new_log + n->lazy_new_log;
+  const double old_log = acc_old_log + n->lazy_old_log;
+  if (n->is_leaf) {
+    for (const Elem& e : n->elems) {
+      visit(e, e.pnew_log + new_log, e.pold_log + old_log);
+    }
+    return;
+  }
+  for (const auto& child : n->children) {
+    ForEachNode(child.get(), new_log, old_log, visit);
+  }
+}
+
+void SkyTree::ForEach(
+    const std::function<void(const SkylineMember&, int band)>& visit) const {
+  ForEachNode(root_.get(), 0.0, 0.0,
+              [this, &visit](const Elem& e, double pnew_log, double pold_log) {
+                visit(MakeMember(e, pnew_log, pold_log), e.band);
+              });
+}
+
+std::vector<SkylineMember> SkyTree::CollectAtLeast(double qprime) const {
+  PSKY_CHECK_MSG(qprime >= retention_threshold(),
+                 "ad-hoc threshold must be >= the retention threshold");
+  const double q_log = std::log(qprime);
+  std::vector<SkylineMember> out;
+
+  struct Walker {
+    const SkyTree* tree;
+    double q_log;
+    std::vector<SkylineMember>* out;
+    void Walk(const Node* n, double acc_new, double acc_old) {
+      if (n->count == 0) return;
+      const double acc_psky = acc_new + acc_old;
+      if (tree->options_.use_minmax_pruning &&
+          n->max_psky_log + acc_psky < q_log) {
+        return;
+      }
+      const double new_log = acc_new + n->lazy_new_log;
+      const double old_log = acc_old + n->lazy_old_log;
+      if (n->is_leaf) {
+        for (const Elem& e : n->elems) {
+          const double pnew = e.pnew_log + new_log;
+          const double pold = e.pold_log + old_log;
+          if (std::log(e.prob) + pnew + pold >= q_log) {
+            out->push_back(tree->MakeMember(e, pnew, pold));
+          }
+        }
+        return;
+      }
+      for (const auto& child : n->children) {
+        Walk(child.get(), new_log, old_log);
+      }
+    }
+  };
+  Walker{this, q_log, &out}.Walk(root_.get(), 0.0, 0.0);
+  std::sort(out.begin(), out.end(),
+            [](const SkylineMember& a, const SkylineMember& b) {
+              return a.element.seq < b.element.seq;
+            });
+  return out;
+}
+
+size_t SkyTree::CountAtLeast(double qprime) const {
+  PSKY_CHECK_MSG(qprime >= retention_threshold(),
+                 "ad-hoc threshold must be >= the retention threshold");
+  const double q_log = std::log(qprime);
+
+  struct Walker {
+    const SkyTree* tree;
+    double q_log;
+    size_t total = 0;
+    void Walk(const Node* n, double acc_psky) {
+      if (n->count == 0) return;
+      if (tree->options_.use_minmax_pruning) {
+        if (n->max_psky_log + acc_psky < q_log) return;
+        if (n->min_psky_log + acc_psky >= q_log) {
+          total += static_cast<size_t>(n->count);
+          return;
+        }
+      }
+      const double below = acc_psky + n->lazy_new_log + n->lazy_old_log;
+      if (n->is_leaf) {
+        for (const Elem& e : n->elems) {
+          if (PskyLogOf(e) + below >= q_log) ++total;
+        }
+        return;
+      }
+      for (const auto& child : n->children) Walk(child.get(), below);
+    }
+  };
+  Walker walker{this, q_log};
+  walker.Walk(root_.get(), 0.0);
+  return walker.total;
+}
+
+std::vector<SkylineMember> SkyTree::TopK(size_t k) const {
+  // Best-first search on the max P_sky aggregates: the tree acts as the
+  // max-heap of Section VI's top-k extension.
+  struct Entry {
+    double key;  // upper bound (node) or exact (element) log P_sky
+    const Node* node;
+    const Elem* elem;
+    double acc_new, acc_old;
+  };
+  struct Compare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key < b.key;  // max-heap
+    }
+  };
+  std::vector<SkylineMember> out;
+  if (root_->count == 0 || k == 0) return out;
+
+  std::priority_queue<Entry, std::vector<Entry>, Compare> heap;
+  heap.push(Entry{root_->max_psky_log, root_.get(), nullptr, 0.0, 0.0});
+  while (!heap.empty() && out.size() < k) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (top.elem != nullptr) {
+      out.push_back(MakeMember(*top.elem, top.elem->pnew_log + top.acc_new,
+                               top.elem->pold_log + top.acc_old));
+      continue;
+    }
+    const Node* n = top.node;
+    const double new_log = top.acc_new + n->lazy_new_log;
+    const double old_log = top.acc_old + n->lazy_old_log;
+    if (n->is_leaf) {
+      for (const Elem& e : n->elems) {
+        heap.push(Entry{PskyLogOf(e) + new_log + old_log, nullptr, &e,
+                        new_log, old_log});
+      }
+    } else {
+      for (const auto& child : n->children) {
+        if (child->count == 0) continue;
+        heap.push(Entry{child->max_psky_log + new_log + old_log, child.get(),
+                        nullptr, new_log, old_log});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant validation (tests only).
+// ---------------------------------------------------------------------------
+
+void SkyTree::CheckInvariants(bool deep) const {
+  constexpr double kTol = 1e-6;
+
+  struct Expect {
+    int64_t count = 0;
+    double pnoc_log = 0.0;
+    double min_pnew = kInf, max_pnew = -kInf;
+    double min_psky = kInf, max_psky = -kInf;
+    int band_lo = std::numeric_limits<int>::max();
+    int band_hi = 0;
+    Mbr mbr;
+  };
+
+  struct Checker {
+    const SkyTree* tree;
+    bool deep;
+    int leaf_depth = -1;
+    std::vector<size_t> band_tally;
+
+    Expect Walk(const Node* n, int depth, bool is_root, double acc_new,
+                double acc_old) {
+      if (!is_root) {
+        PSKY_CHECK(n->Fanout() >= tree->options_.min_entries);
+      }
+      PSKY_CHECK(n->Fanout() <= tree->options_.max_entries);
+
+      Expect ex;
+      ex.mbr = Mbr::Empty(tree->dims_);
+      const double new_log = acc_new + n->lazy_new_log;
+      const double old_log = acc_old + n->lazy_old_log;
+      if (n->is_leaf) {
+        if (leaf_depth < 0) leaf_depth = depth;
+        PSKY_CHECK(leaf_depth == depth);
+        for (const Elem& e : n->elems) {
+          ex.mbr.Expand(e.pos);
+          ++ex.count;
+          ex.pnoc_log += LogOneMinusProb(e.prob);
+          // Cached logs must match their definitions exactly.
+          PSKY_CHECK(e.log_prob == std::log(e.prob));
+          PSKY_CHECK(e.log_one_minus_prob == LogOneMinusProb(e.prob));
+          const double pnew = e.pnew_log + new_log;
+          const double pold = e.pold_log + old_log;
+          const double psky = std::log(e.prob) + pnew + pold;
+          ex.min_pnew = std::min(ex.min_pnew, pnew);
+          ex.max_pnew = std::max(ex.max_pnew, pnew);
+          ex.min_psky = std::min(ex.min_psky, psky);
+          ex.max_psky = std::max(ex.max_psky, psky);
+          ex.band_lo = std::min(ex.band_lo, e.band);
+          ex.band_hi = std::max(ex.band_hi, e.band);
+          ++band_tally[static_cast<size_t>(e.band)];
+          if (deep) {
+            // Band labels must match the element's materialized P_sky,
+            // except for values within rounding reach of a threshold.
+            const int want = tree->BandOf(psky);
+            if (want != e.band) {
+              bool near_boundary = false;
+              for (double t : tree->thresholds_log_) {
+                if (std::abs(psky - t) < 1e-9) near_boundary = true;
+              }
+              PSKY_CHECK_MSG(near_boundary, "stale band");
+            }
+          }
+        }
+      } else {
+        PSKY_CHECK(!n->children.empty());
+        for (const auto& child : n->children) {
+          Expect sub =
+              Walk(child.get(), depth + 1, false, new_log, old_log);
+          ex.mbr.Expand(sub.mbr);
+          ex.count += sub.count;
+          ex.pnoc_log += sub.pnoc_log;
+          ex.min_pnew = std::min(ex.min_pnew, sub.min_pnew);
+          ex.max_pnew = std::max(ex.max_pnew, sub.max_pnew);
+          ex.min_psky = std::min(ex.min_psky, sub.min_psky);
+          ex.max_psky = std::max(ex.max_psky, sub.max_psky);
+          ex.band_lo = std::min(ex.band_lo, sub.band_lo);
+          ex.band_hi = std::max(ex.band_hi, sub.band_hi);
+        }
+      }
+
+      PSKY_CHECK(ex.count == n->count);
+      PSKY_CHECK(ex.mbr == n->mbr);
+      PSKY_CHECK(std::abs(ex.pnoc_log - n->pnoc_log) <=
+                 kTol * (1.0 + std::abs(ex.pnoc_log)));
+      if (ex.count > 0) {
+        // Stored bounds are relative to ancestors' lazies: compare after
+        // adding the accumulated ancestor addends.
+        PSKY_CHECK(std::abs(ex.min_pnew - (n->min_pnew_log + acc_new)) <=
+                   kTol * (1.0 + std::abs(ex.min_pnew)));
+        PSKY_CHECK(std::abs(ex.max_pnew - (n->max_pnew_log + acc_new)) <=
+                   kTol * (1.0 + std::abs(ex.max_pnew)));
+        PSKY_CHECK(std::abs(ex.min_psky -
+                            (n->min_psky_log + acc_new + acc_old)) <=
+                   kTol * (1.0 + std::abs(ex.min_psky)));
+        PSKY_CHECK(std::abs(ex.max_psky -
+                            (n->max_psky_log + acc_new + acc_old)) <=
+                   kTol * (1.0 + std::abs(ex.max_psky)));
+        PSKY_CHECK(ex.band_lo == n->band_lo);
+        PSKY_CHECK(ex.band_hi == n->band_hi);
+      }
+      return ex;
+    }
+  };
+
+  Checker checker{this, deep, -1, {}};
+  checker.band_tally.assign(band_counts_.size(), 0);
+  if (root_->count == 0) {
+    PSKY_CHECK(root_->is_leaf && root_->elems.empty());
+  } else {
+    checker.Walk(root_.get(), 0, /*is_root=*/true, 0.0, 0.0);
+  }
+  for (size_t b = 0; b < band_counts_.size(); ++b) {
+    PSKY_CHECK(checker.band_tally[b] == band_counts_[b]);
+  }
+}
+
+}  // namespace psky

@@ -1,0 +1,261 @@
+// The aggregate sky-tree: the paper's core data structure (Section IV).
+//
+// One in-memory aggregate R-tree holds the candidate set S_{N,q}. Every
+// node keeps, for the elements beneath it (paper Section IV-A):
+//
+//   * pnoc            Π (1 − P(e)) — the no-occurrence probability;
+//   * min/max P_new   bounds used to evict / keep whole subtrees when a
+//                     new dominator arrives (Algorithm 9);
+//   * min/max P_sky   bounds used to re-classify whole subtrees into or
+//                     out of the reported skyline (Algorithms 10, 11);
+//   * lazy_new        pending Π (1 − P(a_new)) multiplier from new
+//                     dominating arrivals (the paper's P_new^global);
+//   * lazy_old        pending Π 1/(1 − P(a')) multiplier from dominators
+//                     that left S_{N,q} (the paper's P_old^global; the
+//                     paper stores the divisor, we store the multiplier);
+//   * band bounds     classification of descendants into threshold bands.
+//
+// Lazy multipliers are applied subtree-wide in O(1) and pushed toward the
+// leaves only when a traversal must descend (paper's CalProb /
+// UpdateOldNew push-down). Aggregates at a node always include the node's
+// own pending lazies, so a parent can combine child aggregates directly.
+//
+// Threshold bands generalize the paper's two trees R1 (skyline) and R2
+// (other candidates) and its Section IV-D multi-threshold variant: for
+// descending thresholds q_1 > q_2 > ... > q_k, an element with
+// P_sky ∈ [q_i, q_{i-1}) is in band i, and band k+1 holds candidates below
+// every threshold. With a single threshold, band 1 *is* R1 and band 2 is
+// R2; "moving an entry between R1 and R2" becomes a band flip guarded by
+// exactly the paper's P_sky,min/max tests, without physically relocating
+// subtrees.
+
+#ifndef PSKY_CORE_SKY_TREE_H_
+#define PSKY_CORE_SKY_TREE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/operator.h"
+#include "geom/mbr.h"
+#include "stream/element.h"
+
+namespace psky {
+
+/// Aggregate R-tree over the candidate set S_{N,q}.
+class SkyTree {
+ public:
+  struct Options {
+    /// Node capacity; a node splits above this fanout.
+    int max_entries = 12;
+    /// Minimum fanout; an underfull node is condensed (contents
+    /// reinserted).
+    int min_entries = 4;
+    /// Ablation knob: when false, probability multipliers are pushed to
+    /// every element immediately instead of being kept lazily at nodes.
+    bool use_lazy = true;
+    /// Ablation knob: when false, min/max aggregate pruning is disabled
+    /// and traversals descend to the leaves.
+    bool use_minmax_pruning = true;
+    /// When true, every band transition (including candidate entry and
+    /// departure) is recorded and retrievable via TakeBandChanges() —
+    /// the push-style delta feed of the continuous query.
+    bool record_events = false;
+  };
+
+  /// Internal counters for efficiency studies.
+  struct Counters {
+    uint64_t nodes_visited = 0;
+    uint64_t elements_touched = 0;
+    uint64_t evictions = 0;
+    uint64_t pushdowns = 0;
+    uint64_t band_flips = 0;
+  };
+
+  /// `thresholds` must be strictly decreasing values in (1e-9, 1]; the
+  /// last one is the retention threshold q_k that gates membership of
+  /// S_{N,q}. A single-element vector gives the plain q-skyline operator.
+  SkyTree(int dims, std::vector<double> thresholds);
+  SkyTree(int dims, std::vector<double> thresholds, Options options);
+
+  SkyTree(const SkyTree&) = delete;
+  SkyTree& operator=(const SkyTree&) = delete;
+
+  int dims() const { return dims_; }
+  int num_thresholds() const { return static_cast<int>(thresholds_.size()); }
+  double retention_threshold() const { return thresholds_.back(); }
+  const std::vector<double>& thresholds() const { return thresholds_; }
+
+  /// Number of candidate elements currently held (|S_{N,q}|).
+  size_t size() const;
+
+  /// Number of elements in band `band` (1-based; band k+1 = candidates
+  /// below every threshold).
+  size_t band_size(int band) const;
+
+  /// Elements with P_sky >= thresholds[band-1], i.e. bands 1..band.
+  size_t CountUpToBand(int band) const;
+
+  /// |SKY_{N,q_1}| — elements at or above the highest threshold.
+  size_t skyline_size() const { return band_size(1); }
+
+  /// Processes the arrival of element `e` (paper Algorithm 4):
+  /// updates P_new of dominated candidates, evicts those falling below the
+  /// retention threshold, restores P_old of surviving dominated elements,
+  /// inserts `e`, and re-bands affected regions.
+  /// `e.prob` must already be clamped via ClampProb().
+  void Arrive(const UncertainElement& e);
+
+  /// Processes the expiry of `e` (paper Algorithm 11). Returns false when
+  /// `e` had already been evicted from S_{N,q} (then nothing changes).
+  bool Expire(const UncertainElement& e);
+
+  /// Visits every candidate with fully materialized probabilities, in
+  /// arbitrary order. The visitor receives the member and its band.
+  void ForEach(
+      const std::function<void(const SkylineMember&, int band)>& visit) const;
+
+  /// All candidates with P_sky >= qprime (ad-hoc query, Section IV-D).
+  /// `qprime` must be >= the retention threshold.
+  std::vector<SkylineMember> CollectAtLeast(double qprime) const;
+
+  /// Count of candidates with P_sky >= qprime without enumerating
+  /// qualifying subtrees (uses min/max P_sky pruning).
+  size_t CountAtLeast(double qprime) const;
+
+  /// The k candidates with the highest P_sky (all >= the retention
+  /// threshold), best-first via the max P_sky aggregates (Section VI
+  /// "heap tree" view). Ordered by decreasing P_sky.
+  std::vector<SkylineMember> TopK(size_t k) const;
+
+  /// One band transition of one element. Band 0 is the pseudo-band
+  /// "not in the candidate set": arrivals come from band 0, evictions and
+  /// expiries go to band 0. With a single threshold, a change crossing
+  /// band 1 is a skyline enter/leave event.
+  struct BandChange {
+    uint64_t seq = 0;
+    int old_band = 0;
+    int new_band = 0;
+  };
+
+  /// Drains the band-change events recorded since the last call.
+  /// Requires Options::record_events; otherwise always empty. Events are
+  /// in occurrence order; an element may appear more than once per step
+  /// (e.g., evicted after a band flip) — the net effect is the
+  /// composition.
+  std::vector<BandChange> TakeBandChanges();
+
+  const Counters& counters() const { return counters_; }
+
+  /// Validates every structural and aggregate invariant by recomputation;
+  /// aborts on violation. Test helper (O(n) per call, O(n^2) with
+  /// `deep` = true, which also re-derives every band from scratch).
+  void CheckInvariants(bool deep = false) const;
+
+ private:
+  // All probability bookkeeping is in log space (see operator.h): products
+  // of (1 - P) factors become sums, "divide out a factor" becomes an exact
+  // subtraction, and nothing underflows no matter how many dominators an
+  // element accumulates. Lazy multipliers are therefore lazy *addends*.
+  struct Elem {
+    Point pos;
+    double prob = 1.0;
+    uint64_t seq = 0;
+    double time = 0.0;
+    double pnew_log = 0.0;
+    double pold_log = 0.0;
+    // Cached logs of prob / (1 - prob): computed once per element, read on
+    // every aggregate recomputation.
+    double log_prob = 0.0;
+    double log_one_minus_prob = 0.0;
+    int band = 1;
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    Mbr mbr;
+    int64_t count = 0;
+    double pnoc_log = 0.0;      // Σ log(1 - P(e)) over elements below
+    double min_pnew_log = 0.0;  // bounds include this node's own lazies
+    double max_pnew_log = 0.0;
+    double min_psky_log = 0.0;
+    double max_psky_log = 0.0;
+    int band_lo = 1;
+    int band_hi = 1;
+    double lazy_new_log = 0.0;  // pending addend for pnew_log below
+    double lazy_old_log = 0.0;  // pending addend for pold_log below
+    bool dirty_some = false;    // some descendant region changed P_sky
+    bool dirty_all = false;     // the whole subtree changed P_sky
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<Elem> elems;
+    int Fanout() const {
+      return is_leaf ? static_cast<int>(elems.size())
+                     : static_cast<int>(children.size());
+    }
+  };
+
+  // --- probability plumbing -------------------------------------------
+  int BandOf(double psky_log) const;
+  void RebandElem(Elem* el);
+  static double PskyLogOf(const Elem& e) {
+    return e.log_prob + e.pnew_log + e.pold_log;
+  }
+  void ApplyNewAddend(Node* n, double addend);
+  void ApplyOldAddend(Node* n, double addend);
+  void PushDown(Node* n);
+  void PushDownRecursive(Node* n);
+  // Recomputes the probability aggregates (min/max P_new, min/max P_sky,
+  // band bounds) of `n` from its children/elements. Positions, counts and
+  // P_noc are untouched — used on probability-only update paths.
+  void RecomputeProbAgg(Node* n);
+  // Full recomputation including MBR, count and P_noc — used when the
+  // node's membership changed (insert / remove / evict / split).
+  void RecomputeAgg(Node* n);
+
+  // --- arrival phases ---------------------------------------------------
+  // Returns true when some P_new below `n` changed.
+  bool ProcessArrival(Node* n, const UncertainElement& e,
+                      double arrival_log_factor, double* pold_log_acc);
+  bool EvictPhase(Node* n, bool is_root, std::vector<Elem>* evicted,
+                  std::vector<Elem>* reinsert);
+  // Returns true when some P_old below `n` changed.
+  bool ApplyOldForDominator(Node* n, const Point& pos, double addend);
+  void Reflag(Node* n);
+
+  // --- structure maintenance --------------------------------------------
+  void CollectElems(Node* n, std::vector<Elem>* out);
+  std::unique_ptr<Node> Split(Node* n);
+  std::unique_ptr<Node> InsertRec(Node* n, Elem elem);
+  void InsertElem(Elem elem);
+  bool RemoveRec(Node* n, const Point& pos, uint64_t seq, Elem* removed,
+                 std::vector<Elem>* orphans);
+  void ShrinkRoot();
+
+  void ForEachNode(const Node* n, double acc_new_log, double acc_old_log,
+                   const std::function<void(const Elem&, double pnew_log,
+                                            double pold_log)>& visit) const;
+
+  SkylineMember MakeMember(const Elem& e, double pnew_log,
+                           double pold_log) const;
+
+  void RecordEvent(uint64_t seq, int old_band, int new_band) {
+    if (options_.record_events) {
+      events_.push_back(BandChange{seq, old_band, new_band});
+    }
+  }
+
+  int dims_;
+  std::vector<double> thresholds_;      // strictly decreasing, linear
+  std::vector<double> thresholds_log_;  // log of the above
+  Options options_;
+  std::unique_ptr<Node> root_;
+  std::vector<size_t> band_counts_;  // 1-based; size k + 2
+  std::vector<BandChange> events_;
+  mutable Counters counters_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_SKY_TREE_H_

@@ -1,0 +1,44 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+
+#include "core/possible_worlds.h"
+
+namespace psky {
+
+std::vector<size_t> CandidateSetIndices(
+    const std::vector<UncertainElement>& window, double q) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (PnewOf(window, i) >= q) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> QSkylineIndices(const std::vector<UncertainElement>& window,
+                                    double q) {
+  std::vector<size_t> out;
+  const std::vector<double> psky = AllSkylineProbabilities(window);
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (psky[i] >= q) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> TopKSkylineIndices(
+    const std::vector<UncertainElement>& window, double q, size_t k) {
+  const std::vector<double> psky = AllSkylineProbabilities(window);
+  std::vector<size_t> qualified;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (psky[i] >= q) qualified.push_back(i);
+  }
+  std::sort(qualified.begin(), qualified.end(),
+            [&psky, &window](size_t a, size_t b) {
+              if (psky[a] != psky[b]) return psky[a] > psky[b];
+              return window[a].seq < window[b].seq;
+            });
+  if (qualified.size() > k) qualified.resize(k);
+  return qualified;
+}
+
+}  // namespace psky

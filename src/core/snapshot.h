@@ -1,0 +1,35 @@
+// Static (non-incremental) computations over one window snapshot.
+//
+// These compute, directly from definitions, the candidate set S_{N,q} and
+// the q-skyline SKY_{N,q} of a fixed collection of elements. They serve as
+// oracles for the incremental operators and as the from-scratch baseline
+// for ad-hoc queries.
+
+#ifndef PSKY_CORE_SNAPSHOT_H_
+#define PSKY_CORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace psky {
+
+/// Indices of elements with P_new >= q (the candidate set S_{N,q}),
+/// in increasing index order. O(n^2).
+std::vector<size_t> CandidateSetIndices(
+    const std::vector<UncertainElement>& window, double q);
+
+/// Indices of elements with P_sky >= q (the q-skyline SKY_{N,q}),
+/// in increasing index order. O(n^2).
+std::vector<size_t> QSkylineIndices(const std::vector<UncertainElement>& window,
+                                    double q);
+
+/// Indices of the (at most) k elements with the highest P_sky among those
+/// with P_sky >= q, ordered by decreasing P_sky (ties by arrival order).
+std::vector<size_t> TopKSkylineIndices(
+    const std::vector<UncertainElement>& window, double q, size_t k);
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_SNAPSHOT_H_

@@ -1,0 +1,89 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/check.h"
+
+namespace psky {
+
+double HarmonicNumber(int d, int64_t l) {
+  PSKY_CHECK_MSG(d >= 1, "harmonic order must be >= 1");
+  PSKY_CHECK_MSG(l >= 0, "harmonic length must be >= 0");
+  if (l == 0) return 0.0;
+  // Rolling table: cur[i] = H_{order, i} for i in [1, l].
+  std::vector<double> cur(static_cast<size_t>(l) + 1, 0.0);
+  for (int64_t i = 1; i <= l; ++i) {
+    cur[static_cast<size_t>(i)] = cur[static_cast<size_t>(i - 1)] +
+                                  1.0 / static_cast<double>(i);
+  }
+  for (int order = 2; order <= d; ++order) {
+    std::vector<double> next(static_cast<size_t>(l) + 1, 0.0);
+    for (int64_t i = 1; i <= l; ++i) {
+      next[static_cast<size_t>(i)] =
+          next[static_cast<size_t>(i - 1)] +
+          cur[static_cast<size_t>(i)] / static_cast<double>(i);
+    }
+    cur.swap(next);
+  }
+  return cur[static_cast<size_t>(l)];
+}
+
+double DominanceCountBound(int d, int64_t n, int64_t k) {
+  PSKY_CHECK(d >= 1 && n >= 1 && k >= 0);
+  if (k + 1 >= n) return 1.0;
+  const double base = static_cast<double>(k + 1) / static_cast<double>(n);
+  if (d == 1) return std::min(1.0, base);
+  const double bound =
+      base * (1.0 + HarmonicNumber(d - 1, n) - HarmonicNumber(d - 1, k + 1));
+  return std::min(1.0, bound);
+}
+
+namespace {
+
+// Corollary 3 with per-element weights w_k = w0 * (1-p)^k, where w0 = p
+// for the skyline bound (Theorem 6 weights q_{k,i} = P_i * P(¬W)) and
+// w0 = 1 for the candidate bound (Theorem 8 weights p_{k,i} = P(¬W)).
+double BoundImpl(int d, int64_t n, double p, double q, double w0) {
+  PSKY_CHECK(n >= 1);
+  PSKY_CHECK_MSG(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+  PSKY_CHECK_MSG(q > 0.0 && q <= 1.0, "threshold must be in (0, 1]");
+  if (w0 < q) return 0.0;  // w_0 < q: nothing can reach the threshold
+
+  // k* = largest k with w0 (1-p)^k >= q.
+  int64_t k_star;
+  if (p >= 1.0) {
+    // Any dominator certainly occurs; only undominated elements qualify.
+    k_star = 0;
+  } else {
+    k_star = static_cast<int64_t>(
+        std::floor(std::log(q / w0) / std::log1p(-p)));
+    k_star = std::max<int64_t>(0, std::min(k_star, n - 1));
+  }
+
+  auto w_of = [p, w0](int64_t k) {
+    return w0 * std::pow(1.0 - p, static_cast<double>(k));
+  };
+
+  double total = 0.0;
+  for (int64_t j = 0; j < k_star; ++j) {
+    total += DominanceCountBound(d, n, j) * (w_of(j) - w_of(j + 1));
+  }
+  total += DominanceCountBound(d, n, k_star) * w_of(k_star);
+  return static_cast<double>(n) * total;
+}
+
+}  // namespace
+
+double ExpectedSkylineSizeBound(int d, int64_t n, double p, double q) {
+  return BoundImpl(d, n, p, q, /*w0=*/p);
+}
+
+double ExpectedCandidateSizeBound(int d, int64_t n, double p, double q) {
+  // Arrival order behaves as one additional independent dimension
+  // (Theorem 8); the element's own probability does not enter P_new.
+  return BoundImpl(d + 1, n, p, q, /*w0=*/1.0);
+}
+
+}  // namespace psky

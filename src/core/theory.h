@@ -1,0 +1,48 @@
+// Analytical size bounds from Section III-B of the paper:
+// generalized harmonic numbers H_{d,l}, the dominance-count bound of
+// Theorem 7, and the expected q-skyline size bound of Corollary 3 under
+// identical occurrence probabilities.
+//
+// bench_theory_bounds compares these against empirically measured
+// |SKY_{N,q}| / |S_{N,q}| to confirm the poly-logarithmic behaviour.
+
+#ifndef PSKY_CORE_THEORY_H_
+#define PSKY_CORE_THEORY_H_
+
+#include <cstdint>
+
+namespace psky {
+
+/// H_{d,l}: H_{1,l} = sum_{i=1..l} 1/i and
+/// H_{d,l} = sum_{i=1..l} H_{d-1,i} / i. Requires d >= 1, l >= 0
+/// (H_{d,0} = 0). O(d * l) time, O(l) memory.
+double HarmonicNumber(int d, int64_t l);
+
+/// Theorem 7 upper bound on P(DOMT_i^k): the probability that at most k of
+/// N i.i.d. elements dominate a random element in d dimensions.
+///   d == 1:  (k+1)/N
+///   d >= 2:  (k+1)/N * (1 + H_{d-1,N} - H_{d-1,k+1})
+double DominanceCountBound(int d, int64_t n, int64_t k);
+
+/// Corollary 3 upper bound on the paper's E[SKY_{N,q}] when every element
+/// has the same occurrence probability p: with q_k = p (1-p)^k and k* the
+/// largest k with q_k >= q,
+///   E <= N * [ sum_{j=0}^{k*-1} P(DOMT^j) (q_j - q_{j+1})
+///              + P(DOMT^{k*}) q_{k*} ].
+///
+/// Note the quantity bounded: Theorem 6 defines E[SKY_{N,q}] with each
+/// qualified element weighted by P_i * P(¬W) — i.e., each q-skyline
+/// element counts with weight P_sky, the probability that it actually
+/// appears undominated in the realized possible world. The raw (unit-
+/// weighted) q-skyline count can exceed this bound by up to a 1/q factor.
+double ExpectedSkylineSizeBound(int d, int64_t n, double p, double q);
+
+/// Theorem 8 analogue for the candidate set S_{N,q}: identical to
+/// ExpectedSkylineSizeBound with dimensionality d + 1 (arrival order acts
+/// as one extra independent dimension) and per-element weight P_new
+/// (no own-probability factor).
+double ExpectedCandidateSizeBound(int d, int64_t n, double p, double q);
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_THEORY_H_

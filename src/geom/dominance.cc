@@ -1,0 +1,96 @@
+#include "geom/dominance.h"
+
+namespace psky {
+
+bool Dominates(const Point& u, const Point& v) {
+  PSKY_DCHECK(u.dims() == v.dims());
+  bool strict = false;
+  for (int i = 0; i < u.dims(); ++i) {
+    if (u[i] > v[i]) return false;
+    if (u[i] < v[i]) strict = true;
+  }
+  return strict;
+}
+
+int DominanceCompare(const Point& u, const Point& v) {
+  PSKY_DCHECK(u.dims() == v.dims());
+  bool u_le = true, v_le = true;
+  bool strict = false;
+  for (int i = 0; i < u.dims(); ++i) {
+    if (u[i] < v[i]) {
+      v_le = false;
+      strict = true;
+    } else if (u[i] > v[i]) {
+      u_le = false;
+      strict = true;
+    }
+    if (!u_le && !v_le) return 0;
+  }
+  if (!strict) return 0;  // equal points dominate neither way
+  return (u_le ? 1 : 0) | (v_le ? 2 : 0);
+}
+
+bool DominatesOrEqual(const Point& u, const Point& v) {
+  PSKY_DCHECK(u.dims() == v.dims());
+  for (int i = 0; i < u.dims(); ++i) {
+    if (u[i] > v[i]) return false;
+  }
+  return true;
+}
+
+DomRelation Classify(const Mbr& e, const Mbr& ep) {
+  PSKY_DCHECK(!e.empty() && !ep.empty());
+  if (Dominates(e.max(), ep.min())) return DomRelation::kFull;
+  if (Dominates(e.min(), ep.max())) return DomRelation::kPartial;
+  return DomRelation::kNone;
+}
+
+DomRelation Classify(const Point& p, const Mbr& e) {
+  return Classify(Mbr(p), e);
+}
+
+DomRelation Classify(const Mbr& e, const Point& p) {
+  return Classify(e, Mbr(p));
+}
+
+PointEntryRelation ClassifyPointEntry(const Point& p, const Mbr& e) {
+  PSKY_DCHECK(!e.empty());
+  PSKY_DCHECK(p.dims() == e.dims());
+  const Point& lo = e.min();
+  const Point& hi = e.max();
+  bool p_ge_min = true, p_gt_min = false;  // lo ⪯ p / with a strict dim
+  bool p_le_min = true, p_lt_min = false;  // p ⪯ lo / with a strict dim
+  bool p_ge_max = true, p_gt_max = false;
+  bool p_le_max = true, p_lt_max = false;
+  for (int i = 0; i < p.dims(); ++i) {
+    const double v = p[i];
+    if (v > lo[i]) {
+      p_le_min = false;
+      p_gt_min = true;
+    } else if (v < lo[i]) {
+      p_ge_min = false;
+      p_lt_min = true;
+    }
+    if (v > hi[i]) {
+      p_le_max = false;
+      p_gt_max = true;
+    } else if (v < hi[i]) {
+      p_ge_max = false;
+      p_lt_max = true;
+    }
+  }
+  PointEntryRelation rel;
+  if (p_ge_max && p_gt_max) {
+    rel.entry_over_point = DomRelation::kFull;  // e.max ≺ p
+  } else if (p_ge_min && p_gt_min) {
+    rel.entry_over_point = DomRelation::kPartial;  // e.min ≺ p
+  }
+  if (p_le_min && p_lt_min) {
+    rel.point_over_entry = DomRelation::kFull;  // p ≺ e.min
+  } else if (p_le_max && p_lt_max) {
+    rel.point_over_entry = DomRelation::kPartial;  // p ≺ e.max
+  }
+  return rel;
+}
+
+}  // namespace psky

@@ -1,0 +1,65 @@
+// Dominance tests between points and between R-tree entries (MBRs).
+//
+// Dominance is minimization: u dominates v (u ≺ v) iff u.i <= v.i on every
+// dimension and u.j < v.j on at least one. Entry-level dominance follows
+// Section II-B of the paper:
+//
+//   * E fully dominates E'   if E.max ≺ E'.min (every element of E
+//     dominates every element of E');
+//   * E partially dominates E' if E.min ≺ E'.max but not fully (some
+//     elements of E' *might* be dominated by elements of E — Theorem 1);
+//   * otherwise E does not dominate E' (no element of E' can be dominated
+//     by any element of E).
+//
+// The paper additionally counts E.max == E'.min as full dominance when no
+// element sits at the shared corner; tracking corner occupancy is not worth
+// its cost, so we conservatively classify that case as partial. This only
+// means one extra level of descent in degenerate ties — never an incorrect
+// probability.
+
+#ifndef PSKY_GEOM_DOMINANCE_H_
+#define PSKY_GEOM_DOMINANCE_H_
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace psky {
+
+/// Relation of an entry E to another entry E' (or a point).
+enum class DomRelation {
+  kFull,     ///< E ≺ E': every element under E dominates everything in E'.
+  kPartial,  ///< E ≺_partial E': some elements of E' might be dominated.
+  kNone,     ///< E ⊀ E': nothing in E' is dominated by anything in E.
+};
+
+/// True iff `u` dominates `v` (u ≺ v).
+bool Dominates(const Point& u, const Point& v);
+
+/// Bitmask of the mutual dominance relation, computed in one pass:
+/// bit 0 set iff u ≺ v, bit 1 set iff v ≺ u (never both). Hot-path helper
+/// for code that needs both directions.
+int DominanceCompare(const Point& u, const Point& v);
+
+/// True iff `u` dominates or equals `v` component-wise (u ⪯ v).
+bool DominatesOrEqual(const Point& u, const Point& v);
+
+/// Classifies the dominance relation of entry `e` over entry `ep`.
+DomRelation Classify(const Mbr& e, const Mbr& ep);
+
+/// Classifies the dominance relation of point `p` over entry `e`.
+DomRelation Classify(const Point& p, const Mbr& e);
+
+/// Classifies the dominance relation of entry `e` over point `p`.
+DomRelation Classify(const Mbr& e, const Point& p);
+
+/// Both directions of the point-vs-entry relation, computed in a single
+/// pass over the dimensions (hot path of the sky-tree's arrival probe).
+struct PointEntryRelation {
+  DomRelation entry_over_point = DomRelation::kNone;  ///< E vs p
+  DomRelation point_over_entry = DomRelation::kNone;  ///< p vs E
+};
+PointEntryRelation ClassifyPointEntry(const Point& p, const Mbr& e);
+
+}  // namespace psky
+
+#endif  // PSKY_GEOM_DOMINANCE_H_

@@ -1,0 +1,89 @@
+#include "geom/mbr.h"
+
+#include <algorithm>
+
+namespace psky {
+
+Mbr Mbr::Empty(int dims) {
+  Mbr m;
+  m.min_ = Point(dims);
+  m.max_ = Point(dims);
+  m.empty_ = true;
+  return m;
+}
+
+void Mbr::Expand(const Point& p) {
+  if (empty_) {
+    min_ = p;
+    max_ = p;
+    empty_ = false;
+    return;
+  }
+  PSKY_DCHECK(p.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    min_[i] = std::min(min_[i], p[i]);
+    max_[i] = std::max(max_[i], p[i]);
+  }
+}
+
+void Mbr::Expand(const Mbr& other) {
+  if (other.empty_) return;
+  Expand(other.min_);
+  Expand(other.max_);
+}
+
+bool Mbr::Contains(const Point& p) const {
+  if (empty_) return false;
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < min_[i] || p[i] > max_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(const Mbr& other) const {
+  if (empty_ || other.empty_) return false;
+  return Contains(other.min_) && Contains(other.max_);
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  if (empty_ || other.empty_) return false;
+  for (int i = 0; i < dims(); ++i) {
+    if (other.max_[i] < min_[i] || other.min_[i] > max_[i]) return false;
+  }
+  return true;
+}
+
+double Mbr::Area() const {
+  if (empty_) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < dims(); ++i) area *= max_[i] - min_[i];
+  return area;
+}
+
+double Mbr::Margin() const {
+  if (empty_) return 0.0;
+  double margin = 0.0;
+  for (int i = 0; i < dims(); ++i) margin += max_[i] - min_[i];
+  return margin;
+}
+
+double Mbr::OverlapArea(const Mbr& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < dims(); ++i) {
+    const double lo = std::max(min_[i], other.min_[i]);
+    const double hi = std::min(max_[i], other.max_[i]);
+    if (hi <= lo) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  if (empty_) return other.Area();
+  Mbr merged = *this;
+  merged.Expand(other);
+  return merged.Area() - Area();
+}
+
+}  // namespace psky

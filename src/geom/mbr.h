@@ -1,0 +1,76 @@
+// Minimum bounding rectangles for R-tree entries.
+
+#ifndef PSKY_GEOM_MBR_H_
+#define PSKY_GEOM_MBR_H_
+
+#include "geom/point.h"
+
+namespace psky {
+
+/// Axis-aligned minimum bounding rectangle.
+///
+/// `min()` is the lower-left corner and `max()` the upper-right corner, the
+/// paper's `E.min` / `E.max`. A single point degenerates to min == max.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// Degenerate MBR covering exactly one point.
+  explicit Mbr(const Point& p) : min_(p), max_(p) {}
+
+  Mbr(const Point& lo, const Point& hi) : min_(lo), max_(hi) {
+    PSKY_DCHECK(lo.dims() == hi.dims());
+  }
+
+  /// An "empty" MBR that absorbs the first Expand() call.
+  static Mbr Empty(int dims);
+
+  int dims() const { return min_.dims(); }
+  bool empty() const { return empty_; }
+
+  const Point& min() const { return min_; }
+  const Point& max() const { return max_; }
+
+  /// Grows the MBR to cover `p`.
+  void Expand(const Point& p);
+
+  /// Grows the MBR to cover `other`.
+  void Expand(const Mbr& other);
+
+  /// True if `p` lies inside (inclusive) this MBR.
+  bool Contains(const Point& p) const;
+
+  /// True if `other` lies fully inside (inclusive) this MBR.
+  bool Contains(const Mbr& other) const;
+
+  /// True if the two MBRs intersect (inclusive).
+  bool Intersects(const Mbr& other) const;
+
+  /// d-dimensional volume (product of extents).
+  double Area() const;
+
+  /// Sum of extents (the R*-tree "margin" measure).
+  double Margin() const;
+
+  /// Volume of the intersection with `other`; 0 when disjoint.
+  double OverlapArea(const Mbr& other) const;
+
+  /// Area increase required to also cover `other`.
+  double Enlargement(const Mbr& other) const;
+
+  /// Center coordinate along dimension `dim`.
+  double Center(int dim) const { return 0.5 * (min_[dim] + max_[dim]); }
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.empty_ == b.empty_ && a.min_ == b.min_ && a.max_ == b.max_;
+  }
+
+ private:
+  Point min_;
+  Point max_;
+  bool empty_ = false;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_GEOM_MBR_H_

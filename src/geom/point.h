@@ -1,0 +1,67 @@
+// Fixed-capacity d-dimensional point.
+//
+// Streams in this library carry millions of elements, so points avoid heap
+// allocation: coordinates live inline with capacity kMaxDims. Dominance is
+// minimization on every dimension (smaller is better), matching the paper.
+
+#ifndef PSKY_GEOM_POINT_H_
+#define PSKY_GEOM_POINT_H_
+
+#include <array>
+#include <initializer_list>
+
+#include "base/check.h"
+
+namespace psky {
+
+/// Maximum supported dimensionality. The paper evaluates d in [2, 5];
+/// 8 leaves headroom without hurting cache behaviour.
+inline constexpr int kMaxDims = 8;
+
+/// A d-dimensional point with inline storage.
+class Point {
+ public:
+  Point() = default;
+
+  /// Point of `dims` dimensions, every coordinate set to `fill`.
+  explicit Point(int dims, double fill = 0.0) : dims_(dims) {
+    PSKY_DCHECK(dims >= 0 && dims <= kMaxDims);
+    for (int i = 0; i < dims; ++i) coords_[i] = fill;
+  }
+
+  /// Point from an explicit coordinate list, e.g. Point({1.0, 2.0}).
+  Point(std::initializer_list<double> coords)
+      : dims_(static_cast<int>(coords.size())) {
+    PSKY_DCHECK(dims_ <= kMaxDims);
+    int i = 0;
+    for (double c : coords) coords_[i++] = c;
+  }
+
+  int dims() const { return dims_; }
+
+  double& operator[](int i) {
+    PSKY_DCHECK(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+  double operator[](int i) const {
+    PSKY_DCHECK(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (int i = 0; i < a.dims_; ++i) {
+      if (a.coords_[i] != b.coords_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+ private:
+  std::array<double, kMaxDims> coords_ = {};
+  int dims_ = 0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_GEOM_POINT_H_

@@ -1,0 +1,261 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "base/check.h"
+#include "rtree/split.h"
+
+namespace psky {
+
+RTree::RTree(int dims) : RTree(dims, Options()) {}
+
+RTree::RTree(int dims, Options options) : dims_(dims), options_(options) {
+  PSKY_CHECK_MSG(dims >= 1 && dims <= kMaxDims, "dims out of range");
+  PSKY_CHECK_MSG(options_.min_entries >= 1, "min_entries must be >= 1");
+  PSKY_CHECK_MSG(options_.max_entries >= 2 * options_.min_entries,
+                 "max_entries must be >= 2 * min_entries");
+  root_ = std::make_unique<Node>();
+  root_->is_leaf = true;
+  root_->mbr = Mbr::Empty(dims_);
+}
+
+Mbr RTree::bounds() const {
+  return size_ == 0 ? Mbr::Empty(dims_) : root_->mbr;
+}
+
+void RTree::RecomputeMbr(Node* node) const {
+  Mbr m = Mbr::Empty(dims_);
+  if (node->is_leaf) {
+    for (const Item& item : node->items) m.Expand(item.pos);
+  } else {
+    for (const auto& child : node->children) m.Expand(child->mbr);
+  }
+  node->mbr = m;
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  if (node->is_leaf) {
+    std::vector<Item> all = std::move(node->items);
+    node->items.clear();
+    QuadraticSplit(
+        &all, &node->items, &sibling->items,
+        [](const Item& item) { return Mbr(item.pos); },
+        options_.min_entries);
+  } else {
+    std::vector<std::unique_ptr<Node>> all = std::move(node->children);
+    node->children.clear();
+    QuadraticSplit(
+        &all, &node->children, &sibling->children,
+        [](const std::unique_ptr<Node>& child) { return child->mbr; },
+        options_.min_entries);
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+namespace {
+
+// Chooses the child of `node` needing least enlargement (area tie-break).
+RTree::Node* PickChild(RTree::Node* node, const Point& pos) {
+  RTree::Node* best = nullptr;
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  const Mbr point_mbr((pos));
+  for (const auto& child : node->children) {
+    const double enlarge = child->mbr.Enlargement(point_mbr);
+    const double area = child->mbr.Area();
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && area < best_area)) {
+      best_enlarge = enlarge;
+      best_area = area;
+      best = child.get();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RTree::Insert(const Point& pos, uint64_t id) {
+  PSKY_DCHECK(pos.dims() == dims_);
+
+  // Recursive insert returning the new sibling when a split propagates.
+  struct Inserter {
+    RTree* tree;
+    const Point& pos;
+    uint64_t id;
+    std::unique_ptr<Node> Run(Node* node) {
+      node->mbr.Expand(pos);
+      if (node->is_leaf) {
+        node->items.push_back(Item{pos, id});
+        if (node->Fanout() > tree->options_.max_entries) {
+          return tree->SplitNode(node);
+        }
+        return nullptr;
+      }
+      Node* child = PickChild(node, pos);
+      PSKY_DCHECK(child != nullptr);
+      std::unique_ptr<Node> sibling = Run(child);
+      if (sibling != nullptr) {
+        node->children.push_back(std::move(sibling));
+        if (node->Fanout() > tree->options_.max_entries) {
+          return tree->SplitNode(node);
+        }
+      }
+      return nullptr;
+    }
+  };
+
+  Inserter inserter{this, pos, id};
+  std::unique_ptr<Node> sibling = inserter.Run(root_.get());
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    RecomputeMbr(new_root.get());
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
+                           std::vector<Item>* orphans) {
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->items.size(); ++i) {
+      if (node->items[i].id == id && node->items[i].pos == pos) {
+        node->items.erase(node->items.begin() + static_cast<ptrdiff_t>(i));
+        RecomputeMbr(node);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    Node* child = node->children[i].get();
+    if (!child->mbr.Contains(pos)) continue;
+    if (!EraseRecursive(child, pos, id, orphans)) continue;
+    if (child->Fanout() < options_.min_entries) {
+      // Condense: orphan everything under the child and drop it.
+      struct Collector {
+        static void Collect(Node* n, std::vector<Item>* out) {
+          if (n->is_leaf) {
+            out->insert(out->end(), n->items.begin(), n->items.end());
+            return;
+          }
+          for (const auto& c : n->children) Collect(c.get(), out);
+        }
+      };
+      Collector::Collect(child, orphans);
+      node->children.erase(node->children.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+    RecomputeMbr(node);
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Erase(const Point& pos, uint64_t id) {
+  std::vector<Item> orphans;
+  if (!EraseRecursive(root_.get(), pos, id, &orphans)) return false;
+  --size_;
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (!root_->is_leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = true;
+    root_->mbr = Mbr::Empty(dims_);
+  }
+
+  // Reinsert orphans without touching size_ (they never left the set).
+  for (const Item& item : orphans) {
+    Insert(item.pos, item.id);
+    --size_;
+  }
+  return true;
+}
+
+void RTree::RangeQuery(const Mbr& range,
+                       const std::function<void(const Item&)>& visit) const {
+  Traverse([&range](const Mbr& mbr) { return mbr.Intersects(range); },
+           [&range, &visit](const Item& item) {
+             if (range.Contains(item.pos)) visit(item);
+           });
+}
+
+void RTree::Traverse(const std::function<bool(const Mbr&)>& descend,
+                     const std::function<void(const Item&)>& visit) const {
+  if (size_ == 0) return;
+  struct Walker {
+    const std::function<bool(const Mbr&)>& descend;
+    const std::function<void(const Item&)>& visit;
+    void Walk(const Node* node) {
+      if (!descend(node->mbr)) return;
+      if (node->is_leaf) {
+        for (const Item& item : node->items) visit(item);
+        return;
+      }
+      for (const auto& child : node->children) Walk(child.get());
+    }
+  };
+  Walker{descend, visit}.Walk(root_.get());
+}
+
+int RTree::Height() const {
+  if (size_ == 0) return 0;
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void RTree::CheckInvariants() const {
+  struct Checker {
+    const RTree* tree;
+    size_t item_count = 0;
+    int leaf_depth = -1;
+    void Check(const Node* node, int depth, bool is_root) {
+      if (!is_root) {
+        PSKY_CHECK(node->Fanout() >= tree->options_.min_entries);
+      }
+      PSKY_CHECK(node->Fanout() <= tree->options_.max_entries);
+      Mbr expect = Mbr::Empty(tree->dims_);
+      if (node->is_leaf) {
+        if (leaf_depth < 0) leaf_depth = depth;
+        PSKY_CHECK(leaf_depth == depth);
+        for (const Item& item : node->items) {
+          expect.Expand(item.pos);
+          ++item_count;
+        }
+      } else {
+        PSKY_CHECK(!node->children.empty());
+        for (const auto& child : node->children) {
+          Check(child.get(), depth + 1, false);
+          expect.Expand(child->mbr);
+        }
+      }
+      PSKY_CHECK(expect == node->mbr);
+    }
+  };
+  if (size_ == 0) {
+    PSKY_CHECK(root_->is_leaf && root_->items.empty());
+    return;
+  }
+  Checker checker{this};
+  checker.Check(root_.get(), 0, /*is_root=*/true);
+  PSKY_CHECK(checker.item_count == size_);
+}
+
+}  // namespace psky

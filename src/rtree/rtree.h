@@ -1,0 +1,107 @@
+// In-memory R-tree over points (Guttman, quadratic split).
+//
+// This is the spatial substrate used by the certain-data BBS skyline
+// algorithm and the multi-instance object operator. The core sliding-window
+// operator uses its own specialized aggregate tree (core/sky_tree.*), which
+// follows the same structural conventions but fuses the paper's probability
+// aggregates into every node.
+
+#ifndef PSKY_RTREE_RTREE_H_
+#define PSKY_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace psky {
+
+/// In-memory point R-tree with exact-match deletion.
+class RTree {
+ public:
+  struct Options {
+    /// Maximum entries per node before a split.
+    int max_entries = 16;
+    /// Minimum entries per node before condensation (reinsert).
+    int min_entries = 6;
+  };
+
+  /// One indexed point.
+  struct Item {
+    Point pos;
+    uint64_t id = 0;
+  };
+
+  /// Tree node; exposed read-only so best-first algorithms (BBS) can run
+  /// their own priority traversals.
+  struct Node {
+    bool is_leaf = true;
+    Mbr mbr;
+    std::vector<std::unique_ptr<Node>> children;  // when !is_leaf
+    std::vector<Item> items;                      // when is_leaf
+    int Fanout() const {
+      return is_leaf ? static_cast<int>(items.size())
+                     : static_cast<int>(children.size());
+    }
+  };
+
+  explicit RTree(int dims);
+  RTree(int dims, Options options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  int dims() const { return dims_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bounding box of all indexed points (empty MBR when the tree is empty).
+  Mbr bounds() const;
+
+  /// Inserts a point with an id. Duplicate (pos, id) pairs are allowed.
+  void Insert(const Point& pos, uint64_t id);
+
+  /// Removes one item matching (pos, id) exactly; false if not present.
+  bool Erase(const Point& pos, uint64_t id);
+
+  /// Visits every item inside `range` (inclusive).
+  void RangeQuery(const Mbr& range,
+                  const std::function<void(const Item&)>& visit) const;
+
+  /// Guided traversal: `descend(mbr)` is consulted for every node; when it
+  /// returns false the subtree is skipped. `visit` sees surviving items.
+  void Traverse(const std::function<bool(const Mbr&)>& descend,
+                const std::function<void(const Item&)>& visit) const;
+
+  /// Root node for external best-first traversals; nullptr when empty.
+  const Node* root() const { return size_ == 0 ? nullptr : root_.get(); }
+
+  /// Height of the tree (1 = single leaf); 0 when empty.
+  int Height() const;
+
+  /// Validates structural invariants (MBB consistency, fanout bounds,
+  /// uniform leaf depth); aborts on violation. Test helper.
+  void CheckInvariants() const;
+
+ private:
+  Node* ChooseLeaf(Node* node, const Point& pos,
+                   std::vector<Node*>* path) const;
+  std::unique_ptr<Node> SplitNode(Node* node);
+  void RecomputeMbr(Node* node) const;
+  bool EraseRecursive(Node* node, const Point& pos, uint64_t id,
+                      std::vector<Item>* orphans);
+
+  int dims_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_RTREE_RTREE_H_

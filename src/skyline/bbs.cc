@@ -1,0 +1,78 @@
+#include "skyline/bbs.h"
+
+#include <queue>
+#include <variant>
+
+#include "geom/dominance.h"
+
+namespace psky {
+
+namespace {
+
+double MinDist(const Point& p) {
+  double s = 0.0;
+  for (int i = 0; i < p.dims(); ++i) s += p[i];
+  return s;
+}
+
+struct HeapEntry {
+  double mindist;
+  const RTree::Node* node;  // nullptr when this is a point entry
+  RTree::Item item;
+};
+
+struct HeapCompare {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.mindist > b.mindist;  // min-heap
+  }
+};
+
+bool DominatedBySkyline(const std::vector<RTree::Item>& skyline,
+                        const Point& p) {
+  for (const RTree::Item& s : skyline) {
+    if (Dominates(s.pos, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RTree::Item> BbsSkyline(const RTree& tree) {
+  std::vector<RTree::Item> skyline;
+  const RTree::Node* root = tree.root();
+  if (root == nullptr) return skyline;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap;
+  heap.push(HeapEntry{MinDist(root->mbr.min()), root, {}});
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.node == nullptr) {
+      // A concrete point: dominance may have been established since it was
+      // enqueued, so re-check before reporting.
+      if (!DominatedBySkyline(skyline, top.item.pos)) {
+        skyline.push_back(top.item);
+      }
+      continue;
+    }
+    // Prune the whole entry if its best corner is already dominated.
+    if (DominatedBySkyline(skyline, top.node->mbr.min())) continue;
+    if (top.node->is_leaf) {
+      for (const RTree::Item& item : top.node->items) {
+        if (!DominatedBySkyline(skyline, item.pos)) {
+          heap.push(HeapEntry{MinDist(item.pos), nullptr, item});
+        }
+      }
+    } else {
+      for (const auto& child : top.node->children) {
+        if (!DominatedBySkyline(skyline, child->mbr.min())) {
+          heap.push(HeapEntry{MinDist(child->mbr.min()), child.get(), {}});
+        }
+      }
+    }
+  }
+  return skyline;
+}
+
+}  // namespace psky

@@ -1,0 +1,21 @@
+// Branch-and-bound skyline on an R-tree (Papadias, Tao, Fu, Seeger —
+// SIGMOD 2003). Progressive and I/O-optimal on the certain-data problem;
+// the paper's aggregate sky-tree borrows its spatial pruning style.
+
+#ifndef PSKY_SKYLINE_BBS_H_
+#define PSKY_SKYLINE_BBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace psky {
+
+/// Skyline points (with their ids) of everything indexed in `tree`,
+/// emitted in mindist order (the algorithm's natural progressive order).
+std::vector<RTree::Item> BbsSkyline(const RTree& tree);
+
+}  // namespace psky
+
+#endif  // PSKY_SKYLINE_BBS_H_

@@ -1,0 +1,38 @@
+#include "skyline/bnl.h"
+
+#include <algorithm>
+
+#include "geom/dominance.h"
+
+namespace psky {
+
+std::vector<size_t> BnlSkyline(const std::vector<Point>& points) {
+  // The classical algorithm keeps a self-organizing window of incomparable
+  // tuples; in memory the window is simply the running candidate list.
+  std::vector<size_t> window;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const Point& q = points[window[w]];
+      if (Dominates(q, p)) {
+        dominated = true;
+        // Everything not yet scanned stays.
+        for (size_t r = w; r < window.size(); ++r) {
+          window[keep++] = window[r];
+        }
+        break;
+      }
+      if (!Dominates(p, q)) {
+        window[keep++] = window[w];
+      }
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+}  // namespace psky

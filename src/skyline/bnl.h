@@ -1,0 +1,25 @@
+// Block-nested-loop skyline (Börzsönyi, Kossmann, Stocker — ICDE 2001).
+//
+// Certain-data skyline substrate: the paper's historical baseline family.
+// Used here as an oracle for the spatial algorithms and by the
+// multi-instance extension.
+
+#ifndef PSKY_SKYLINE_BNL_H_
+#define PSKY_SKYLINE_BNL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace psky {
+
+/// Computes the skyline of `points` (minimization on all dimensions).
+/// Returns the indices of skyline points in increasing order.
+///
+/// Duplicate points are all reported (none dominates its twin).
+std::vector<size_t> BnlSkyline(const std::vector<Point>& points);
+
+}  // namespace psky
+
+#endif  // PSKY_SKYLINE_BNL_H_

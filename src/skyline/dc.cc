@@ -1,0 +1,85 @@
+#include "skyline/dc.h"
+
+#include <algorithm>
+
+#include "geom/dominance.h"
+
+namespace psky {
+
+namespace {
+
+// Threshold below which plain nested-loop filtering beats recursion.
+constexpr size_t kBaseCase = 64;
+
+// Skyline of the subset `idx` by nested-loop filtering.
+std::vector<size_t> BaseSkyline(const std::vector<Point>& pts,
+                                const std::vector<size_t>& idx) {
+  std::vector<size_t> out;
+  for (size_t i : idx) {
+    bool dominated = false;
+    for (size_t j : idx) {
+      if (j != i && Dominates(pts[j], pts[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> SkylineRec(const std::vector<Point>& pts,
+                               std::vector<size_t> idx) {
+  if (idx.size() <= kBaseCase) return BaseSkyline(pts, idx);
+
+  // Split at the median of dimension 0.
+  const size_t mid = idx.size() / 2;
+  std::nth_element(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(mid),
+                   idx.end(), [&pts](size_t a, size_t b) {
+                     return pts[a][0] < pts[b][0];
+                   });
+  std::vector<size_t> lo(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(mid));
+  std::vector<size_t> hi(idx.begin() + static_cast<ptrdiff_t>(mid), idx.end());
+  if (lo.empty() || hi.empty()) return BaseSkyline(pts, idx);
+
+  const std::vector<size_t> sky_lo = SkylineRec(pts, std::move(lo));
+  const std::vector<size_t> sky_hi = SkylineRec(pts, std::move(hi));
+
+  // Merge: a high-half survivor must not be dominated by any low-half
+  // skyline point; the reverse can only happen through dimension-0 ties,
+  // so it is filtered symmetrically for exactness.
+  std::vector<size_t> out;
+  for (size_t a : sky_lo) {
+    bool dominated = false;
+    for (size_t b : sky_hi) {
+      if (Dominates(pts[b], pts[a])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(a);
+  }
+  for (size_t b : sky_hi) {
+    bool dominated = false;
+    for (size_t a : sky_lo) {
+      if (Dominates(pts[a], pts[b])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> DcSkyline(const std::vector<Point>& points) {
+  std::vector<size_t> idx(points.size());
+  for (size_t i = 0; i < points.size(); ++i) idx[i] = i;
+  std::vector<size_t> out = SkylineRec(points, std::move(idx));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace psky

@@ -1,0 +1,24 @@
+// Divide-and-conquer skyline (Börzsönyi, Kossmann, Stocker — ICDE 2001).
+//
+// The second of the two original skyline algorithms: split on the median
+// of one dimension, solve the halves, and merge by removing points of the
+// "worse" half dominated by the "better" half. Completes the certain-data
+// baseline family (BNL, D&C, SFS, BBS).
+
+#ifndef PSKY_SKYLINE_DC_H_
+#define PSKY_SKYLINE_DC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace psky {
+
+/// Computes the skyline of `points` (minimization on all dimensions).
+/// Returns the indices of skyline points in increasing order.
+std::vector<size_t> DcSkyline(const std::vector<Point>& points);
+
+}  // namespace psky
+
+#endif  // PSKY_SKYLINE_DC_H_

@@ -1,0 +1,45 @@
+#include "skyline/sfs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/dominance.h"
+
+namespace psky {
+
+namespace {
+
+double CoordSum(const Point& p) {
+  double s = 0.0;
+  for (int i = 0; i < p.dims(); ++i) s += p[i];
+  return s;
+}
+
+}  // namespace
+
+std::vector<size_t> SfsSkyline(const std::vector<Point>& points) {
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // If u dominates v then sum(u) < sum(v): sorting by coordinate sum
+  // guarantees a point is only ever dominated by earlier points.
+  std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
+    return CoordSum(points[a]) < CoordSum(points[b]);
+  });
+
+  std::vector<size_t> skyline;
+  for (size_t idx : order) {
+    const Point& p = points[idx];
+    bool dominated = false;
+    for (size_t s : skyline) {
+      if (Dominates(points[s], p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace psky

@@ -1,0 +1,22 @@
+// Sort-filter-skyline (Chomicki, Godfrey, Gryz, Liang — ICDE 2003).
+//
+// Pre-sorts by a monotone scoring function (sum of coordinates) so that no
+// point can be dominated by a later one; a single filtering pass against
+// the accumulated skyline then suffices.
+
+#ifndef PSKY_SKYLINE_SFS_H_
+#define PSKY_SKYLINE_SFS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace psky {
+
+/// Computes the skyline of `points`; returns indices in increasing order.
+std::vector<size_t> SfsSkyline(const std::vector<Point>& points);
+
+}  // namespace psky
+
+#endif  // PSKY_SKYLINE_SFS_H_

@@ -1,0 +1,110 @@
+#include "stream/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "base/check.h"
+
+namespace psky {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view field, double* out) {
+  field = Trim(field);
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+CsvParseResult ParseElementCsv(std::string_view line, int dims,
+                               uint64_t seq) {
+  CsvParseResult result;
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    result.skip = true;
+    return result;
+  }
+
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = trimmed.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(trimmed.substr(start));
+      break;
+    }
+    fields.push_back(trimmed.substr(start, comma - start));
+    start = comma + 1;
+  }
+
+  const size_t want_min = static_cast<size_t>(dims) + 1;
+  if (fields.size() != want_min && fields.size() != want_min + 1) {
+    result.error = "expected " + std::to_string(want_min) + " or " +
+                   std::to_string(want_min + 1) + " fields, got " +
+                   std::to_string(fields.size());
+    return result;
+  }
+
+  UncertainElement e;
+  e.pos = Point(dims);
+  for (int i = 0; i < dims; ++i) {
+    if (!ParseDouble(fields[static_cast<size_t>(i)], &e.pos[i])) {
+      result.error =
+          "bad coordinate in field " + std::to_string(i + 1);
+      return result;
+    }
+  }
+  if (!ParseDouble(fields[static_cast<size_t>(dims)], &e.prob) ||
+      e.prob <= 0.0 || e.prob > 1.0) {
+    result.error = "probability must be a number in (0, 1]";
+    return result;
+  }
+  if (fields.size() == want_min + 1) {
+    if (!ParseDouble(fields[want_min], &e.time)) {
+      result.error = "bad timestamp";
+      return result;
+    }
+  }
+  e.seq = seq;
+  result.ok = true;
+  result.element = e;
+  return result;
+}
+
+std::optional<UncertainElement> CsvElementReader::Next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    CsvParseResult parsed = ParseElementCsv(line, dims_, next_seq_);
+    if (parsed.skip) continue;
+    if (!parsed.ok) {
+      std::fprintf(stderr, "csv: line %llu: %s\n",
+                   static_cast<unsigned long long>(line_no_),
+                   parsed.error.c_str());
+      std::exit(2);
+    }
+    ++next_seq_;
+    return parsed.element;
+  }
+  return std::nullopt;
+}
+
+}  // namespace psky

@@ -1,0 +1,58 @@
+// CSV ingestion of uncertain stream elements.
+//
+// Line format (whitespace tolerated, '#' comments and blank lines
+// skipped):
+//
+//   v1,v2,...,vd,prob[,timestamp]
+//
+// i.e. `dims` coordinate values, the occurrence probability in (0, 1],
+// and an optional non-decreasing timestamp in seconds for time-based
+// windows. Sequence numbers are assigned by the reader in arrival order.
+
+#ifndef PSKY_STREAM_CSV_H_
+#define PSKY_STREAM_CSV_H_
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "stream/element.h"
+
+namespace psky {
+
+/// Result of parsing one CSV line.
+struct CsvParseResult {
+  bool ok = false;
+  bool skip = false;  ///< blank or comment line: not an error, no element
+  UncertainElement element;
+  std::string error;  ///< set when !ok
+};
+
+/// Parses one line into an element with `dims` coordinates. `seq` is the
+/// sequence number to assign. Does not clamp the probability (operators
+/// clamp on ingestion) but rejects values outside (0, 1].
+CsvParseResult ParseElementCsv(std::string_view line, int dims, uint64_t seq);
+
+/// Streams elements from `in`, assigning consecutive sequence numbers.
+class CsvElementReader {
+ public:
+  CsvElementReader(std::istream* in, int dims) : in_(in), dims_(dims) {}
+
+  /// Reads the next element; nullopt at end of input. Aborts the program
+  /// with a line-numbered message on malformed input (stream tools treat
+  /// bad input as fatal).
+  std::optional<UncertainElement> Next();
+
+  uint64_t lines_read() const { return line_no_; }
+
+ private:
+  std::istream* in_;
+  int dims_;
+  uint64_t line_no_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_STREAM_CSV_H_

@@ -1,0 +1,33 @@
+// The uncertain stream element: a d-dimensional value, an occurrence
+// probability, an arrival sequence number kappa (the paper's element
+// position/label), and an optional wall-clock timestamp used by time-based
+// sliding windows (Section VI).
+
+#ifndef PSKY_STREAM_ELEMENT_H_
+#define PSKY_STREAM_ELEMENT_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+
+namespace psky {
+
+/// One uncertain stream element.
+struct UncertainElement {
+  /// Position in value space; dominance is minimization per dimension.
+  Point pos;
+
+  /// Occurrence probability, in (0, 1].
+  double prob = 1.0;
+
+  /// Arrival index kappa(a): the element arrived kappa-th in the stream
+  /// (0-based here). Strictly increasing along the stream.
+  uint64_t seq = 0;
+
+  /// Arrival timestamp (seconds); only meaningful for time-based windows.
+  double time = 0.0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_STREAM_ELEMENT_H_

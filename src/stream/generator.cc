@@ -1,0 +1,111 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace psky {
+
+namespace {
+
+// Samples a value in [0,1] from a normal peaked at 0.5, by resampling.
+double PeakedUnit(Rng& rng, double stddev) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = rng.NextGaussian(0.5, stddev);
+    if (v >= 0.0 && v <= 1.0) return v;
+  }
+  return std::clamp(rng.NextGaussian(0.5, stddev), 0.0, 1.0);
+}
+
+}  // namespace
+
+StreamGenerator::StreamGenerator(const StreamConfig& config)
+    : config_(config),
+      prob_model_(config.prob),
+      pos_rng_(config.seed),
+      prob_rng_(config.seed ^ 0xA5A5A5A5DEADBEEFULL),
+      time_rng_(config.seed ^ 0x0F0F0F0F12345678ULL) {
+  PSKY_CHECK_MSG(config.dims >= 1 && config.dims <= kMaxDims,
+                 "dims out of range");
+  PSKY_CHECK_MSG(config.arrival_rate > 0.0, "arrival rate must be positive");
+}
+
+Point StreamGenerator::NextPosition() {
+  const int d = config_.dims;
+  Point p(d);
+  switch (config_.spatial) {
+    case SpatialDistribution::kIndependent: {
+      for (int i = 0; i < d; ++i) p[i] = pos_rng_.NextDouble();
+      break;
+    }
+    case SpatialDistribution::kCorrelated: {
+      // All dimensions hug a common diagonal value c with small jitter.
+      const double c = PeakedUnit(pos_rng_, 0.25);
+      for (int i = 0; i < d; ++i) {
+        double v;
+        for (int attempt = 0;; ++attempt) {
+          v = pos_rng_.NextGaussian(c, 0.05);
+          if ((v >= 0.0 && v <= 1.0) || attempt >= 32) break;
+        }
+        p[i] = std::clamp(v, 0.0, 1.0);
+      }
+      break;
+    }
+    case SpatialDistribution::kAntiCorrelated: {
+      // Börzsönyi-style: pick a plane sum(x) ≈ d*c with c peaked at 0.5,
+      // start on the diagonal, then redistribute mass between random
+      // coordinate pairs. This keeps the sum constant, producing points
+      // scattered along the anti-diagonal where no point dominates many
+      // others — the hardest case for skyline maintenance.
+      const double c = PeakedUnit(pos_rng_, 0.12);
+      for (int i = 0; i < d; ++i) p[i] = c;
+      const int transfers = 2 * d;
+      for (int t = 0; t < transfers; ++t) {
+        const int i = static_cast<int>(pos_rng_.NextBounded(d));
+        int j = static_cast<int>(pos_rng_.NextBounded(d));
+        if (i == j) j = (j + 1) % d;
+        // Largest mass we can move from j to i without leaving [0,1].
+        const double room = std::min(1.0 - p[i], p[j]);
+        const double room_back = std::min(1.0 - p[j], p[i]);
+        const double delta = pos_rng_.NextDouble(-room_back, room);
+        p[i] += delta;
+        p[j] -= delta;
+      }
+      for (int i = 0; i < d; ++i) p[i] = std::clamp(p[i], 0.0, 1.0);
+      break;
+    }
+  }
+  return p;
+}
+
+UncertainElement StreamGenerator::Next() {
+  UncertainElement e;
+  e.pos = NextPosition();
+  e.prob = prob_model_.Sample(prob_rng_);
+  e.seq = next_seq_++;
+  now_ += time_rng_.NextExponential(config_.arrival_rate);
+  e.time = now_;
+  return e;
+}
+
+std::vector<UncertainElement> StreamGenerator::Take(size_t n) {
+  std::vector<UncertainElement> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+const char* SpatialDistributionName(SpatialDistribution d) {
+  switch (d) {
+    case SpatialDistribution::kIndependent:
+      return "inde";
+    case SpatialDistribution::kCorrelated:
+      return "corr";
+    case SpatialDistribution::kAntiCorrelated:
+      return "anti";
+  }
+  return "?";
+}
+
+}  // namespace psky

@@ -1,0 +1,36 @@
+#include "stream/prob_model.h"
+
+#include "base/check.h"
+
+namespace psky {
+
+namespace {
+// Smallest probability we will ever emit; P(a) must be strictly positive.
+constexpr double kMinProb = 1e-9;
+}  // namespace
+
+double ProbModel::Sample(Rng& rng) const {
+  switch (config_.distribution) {
+    case ProbDistribution::kUniform: {
+      // U(0, 1]: flip U[0,1) around so 1.0 is attainable and 0.0 is not.
+      return 1.0 - rng.NextDouble();
+    }
+    case ProbDistribution::kNormal: {
+      // Truncated normal via resampling; falls back to a clamp after a
+      // bounded number of rejections so adversarial configs (e.g. mean far
+      // outside (0,1]) cannot loop forever.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const double p = rng.NextGaussian(config_.mean, config_.stddev);
+        if (p > 0.0 && p <= 1.0) return p;
+      }
+      const double p = rng.NextGaussian(config_.mean, config_.stddev);
+      if (p <= 0.0) return kMinProb;
+      if (p > 1.0) return 1.0;
+      return p;
+    }
+  }
+  PSKY_CHECK_MSG(false, "unknown probability distribution");
+  return 1.0;
+}
+
+}  // namespace psky

@@ -1,0 +1,48 @@
+// Occurrence-probability models (paper Section V):
+//
+//   * uniform:  P(a) ~ U(0, 1]
+//   * normal:   P(a) ~ N(P_mu, S_d = 0.3), truncated to (0, 1]
+//
+// Truncation uses resampling so the realized distribution is the genuine
+// truncated normal rather than a clamped one with probability mass spikes
+// at the boundaries.
+
+#ifndef PSKY_STREAM_PROB_MODEL_H_
+#define PSKY_STREAM_PROB_MODEL_H_
+
+#include "base/random.h"
+
+namespace psky {
+
+/// Which occurrence-probability distribution a stream uses.
+enum class ProbDistribution {
+  kUniform,  ///< U(0, 1]
+  kNormal,   ///< N(mean, stddev) truncated to (0, 1]
+};
+
+/// Configuration of an occurrence-probability model.
+struct ProbModelConfig {
+  ProbDistribution distribution = ProbDistribution::kUniform;
+  /// Mean P_mu for the normal model (paper varies 0.1 .. 0.9).
+  double mean = 0.5;
+  /// Standard deviation S_d; the paper fixes 0.3.
+  double stddev = 0.3;
+};
+
+/// Draws occurrence probabilities according to a ProbModelConfig.
+class ProbModel {
+ public:
+  explicit ProbModel(const ProbModelConfig& config) : config_(config) {}
+
+  /// Samples one probability in (0, 1].
+  double Sample(Rng& rng) const;
+
+  const ProbModelConfig& config() const { return config_; }
+
+ private:
+  ProbModelConfig config_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_STREAM_PROB_MODEL_H_

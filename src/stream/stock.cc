@@ -1,0 +1,59 @@
+#include "stream/stock.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace psky {
+
+StockStreamGenerator::StockStreamGenerator(const StockConfig& config)
+    : config_(config),
+      prob_model_(config.prob),
+      rng_(config.seed),
+      prob_rng_(config.seed ^ 0x5BD1E995CAFEF00DULL),
+      time_rng_(config.seed ^ 0x8DA6B343C2B2AE35ULL),
+      price_(config.initial_price),
+      anchor_(config.initial_price) {
+  PSKY_CHECK_MSG(config.initial_price > 0.0, "price must be positive");
+  PSKY_CHECK_MSG(config.trades_per_day > 0, "trades_per_day must be > 0");
+}
+
+UncertainElement StockStreamGenerator::Next() {
+  // Log-price random walk with mean reversion toward a daily anchor that
+  // itself drifts once per simulated day. This mirrors how the real trace
+  // wanders across price levels over months while staying locally tight.
+  const double eps = rng_.NextGaussian();
+  const double pull = config_.mean_reversion *
+                      (std::log(anchor_) - std::log(price_));
+  price_ = std::exp(std::log(price_) + pull + config_.volatility * eps);
+
+  if (++trades_today_ >= config_.trades_per_day) {
+    trades_today_ = 0;
+    // Overnight gap: anchor follows the close plus a larger shock.
+    anchor_ = std::exp(std::log(price_) + 0.02 * rng_.NextGaussian());
+  }
+
+  double volume = config_.median_volume *
+                  std::exp(config_.volume_sigma * rng_.NextGaussian());
+  if (rng_.NextBernoulli(config_.burst_prob)) {
+    volume *= config_.burst_scale;
+  }
+  volume = std::max(1.0, std::round(volume));
+
+  UncertainElement e;
+  e.pos = Point({price_, -volume});
+  e.prob = prob_model_.Sample(prob_rng_);
+  e.seq = next_seq_++;
+  now_ += time_rng_.NextExponential(config_.arrival_rate);
+  e.time = now_;
+  return e;
+}
+
+std::vector<UncertainElement> StockStreamGenerator::Take(size_t n) {
+  std::vector<UncertainElement> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace psky

@@ -1,0 +1,82 @@
+// Synthetic NYSE-style stock transaction stream.
+//
+// The paper's real dataset (2M Dell Inc. transactions, Dec 2000–May 2001,
+// attributes = average price per share and total volume) is proprietary.
+// This generator is the documented substitution (DESIGN.md §2.2): a
+// geometric random-walk price with intraday mean reversion and log-normal
+// volumes with a heavy burst tail, reproducing the dataset's qualitative
+// structure — a strongly auto-correlated 2-d stream whose skyline is
+// "cheap and large" deals.
+//
+// Dominance is minimization, so the emitted element is
+// (price, -volume): a deal dominates another iff it is cheaper AND larger.
+// Occurrence probabilities are uniform in (0,1], exactly as the paper
+// assigns them to the real trace.
+
+#ifndef PSKY_STREAM_STOCK_H_
+#define PSKY_STREAM_STOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.h"
+#include "stream/element.h"
+#include "stream/prob_model.h"
+
+namespace psky {
+
+/// Configuration of the synthetic stock stream.
+struct StockConfig {
+  uint64_t seed = 7;
+  /// Starting price in dollars (Dell traded around $25 in Dec 2000).
+  double initial_price = 25.0;
+  /// Per-trade log-price volatility.
+  double volatility = 0.0008;
+  /// Mean-reversion strength toward the slow-moving daily anchor.
+  double mean_reversion = 0.001;
+  /// Trades per simulated day; controls anchor drift cadence.
+  int trades_per_day = 15000;
+  /// Median trade size in shares.
+  double median_volume = 400.0;
+  /// Log-normal sigma of trade sizes.
+  double volume_sigma = 1.2;
+  /// Probability that a trade is a block-trade burst.
+  double burst_prob = 0.01;
+  /// Multiplier applied to burst trade volumes.
+  double burst_scale = 25.0;
+  /// Occurrence-probability model (paper: uniform).
+  ProbModelConfig prob;
+  /// Mean arrival rate (trades/second) for timestamps.
+  double arrival_rate = 1000.0;
+};
+
+/// Produces the synthetic 2-d (price, -volume) uncertain stock stream.
+class StockStreamGenerator {
+ public:
+  explicit StockStreamGenerator(const StockConfig& config);
+
+  /// Next transaction as an uncertain element.
+  UncertainElement Next();
+
+  /// Next `n` transactions.
+  std::vector<UncertainElement> Take(size_t n);
+
+  /// Current simulated price (for examples / display).
+  double current_price() const { return price_; }
+
+ private:
+  StockConfig config_;
+  ProbModel prob_model_;
+  Rng rng_;
+  Rng prob_rng_;
+  Rng time_rng_;
+  double price_;
+  double anchor_;
+  int64_t trades_today_ = 0;
+  uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_STREAM_STOCK_H_

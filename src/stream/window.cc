@@ -1,0 +1,44 @@
+#include "stream/window.h"
+
+#include "base/check.h"
+
+namespace psky {
+
+CountWindow::CountWindow(size_t capacity) : capacity_(capacity) {
+  PSKY_CHECK_MSG(capacity > 0, "window capacity must be positive");
+}
+
+std::optional<UncertainElement> CountWindow::Push(const UncertainElement& e) {
+  std::optional<UncertainElement> expired;
+  if (buffer_.size() == capacity_) {
+    expired = buffer_.front();
+    buffer_.pop_front();
+  }
+  buffer_.push_back(e);
+  return expired;
+}
+
+std::vector<UncertainElement> CountWindow::Snapshot() const {
+  return {buffer_.begin(), buffer_.end()};
+}
+
+TimeWindow::TimeWindow(double span_seconds) : span_(span_seconds) {
+  PSKY_CHECK_MSG(span_seconds > 0.0, "window span must be positive");
+}
+
+void TimeWindow::Push(const UncertainElement& e,
+                      std::vector<UncertainElement>* expired) {
+  PSKY_DCHECK(buffer_.empty() || buffer_.back().time <= e.time);
+  const double cutoff = e.time - span_;
+  while (!buffer_.empty() && buffer_.front().time <= cutoff) {
+    if (expired != nullptr) expired->push_back(buffer_.front());
+    buffer_.pop_front();
+  }
+  buffer_.push_back(e);
+}
+
+std::vector<UncertainElement> TimeWindow::Snapshot() const {
+  return {buffer_.begin(), buffer_.end()};
+}
+
+}  // namespace psky

@@ -1,0 +1,67 @@
+// Sliding-window buffers.
+//
+// CountWindow implements the paper's primary model: the most recent N
+// elements. TimeWindow implements the Section VI extension: elements
+// within the most recent time span T. Both hand expired elements back to
+// the caller so the skyline operator can run its Expiring() path.
+
+#ifndef PSKY_STREAM_WINDOW_H_
+#define PSKY_STREAM_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace psky {
+
+/// Count-based sliding window over the most recent `capacity` elements.
+class CountWindow {
+ public:
+  explicit CountWindow(size_t capacity);
+
+  /// Appends `e`. If the window overflows, removes and returns the oldest
+  /// element (exactly one, since arrivals come one at a time).
+  std::optional<UncertainElement> Push(const UncertainElement& e);
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return buffer_.size() == capacity_; }
+
+  const UncertainElement& oldest() const { return buffer_.front(); }
+  const UncertainElement& newest() const { return buffer_.back(); }
+
+  /// Window contents, oldest first (for oracles / debugging).
+  std::vector<UncertainElement> Snapshot() const;
+
+ private:
+  size_t capacity_;
+  std::deque<UncertainElement> buffer_;
+};
+
+/// Time-based sliding window over the most recent `span` seconds.
+class TimeWindow {
+ public:
+  explicit TimeWindow(double span_seconds);
+
+  /// Appends `e` (timestamps must be non-decreasing) and moves every
+  /// element with time <= e.time - span into `*expired`, oldest first.
+  void Push(const UncertainElement& e,
+            std::vector<UncertainElement>* expired);
+
+  size_t size() const { return buffer_.size(); }
+  double span() const { return span_; }
+
+  /// Window contents, oldest first.
+  std::vector<UncertainElement> Snapshot() const;
+
+ private:
+  double span_;
+  std::deque<UncertainElement> buffer_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_STREAM_WINDOW_H_

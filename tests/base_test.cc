@@ -1,0 +1,181 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "base/stats.h"
+#include "base/timer.h"
+
+namespace psky {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> hist(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hist[rng.NextBounded(10)];
+  }
+  for (int count : hist) {
+    // Each bucket expects 10000; allow 10% slack.
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextGaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextExponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Split();
+  // The split stream must not replay the parent stream.
+  Rng a2(5);
+  a2.Next();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.Next() == a2.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(LatencyRecorder, DelayAndThroughput) {
+  LatencyRecorder rec(1000);
+  rec.AddBatchSeconds(0.001);  // 1 ms per 1000 elements = 1 us each
+  rec.AddBatchSeconds(0.003);
+  EXPECT_EQ(rec.batches(), 2u);
+  EXPECT_NEAR(rec.MeanDelayPerElementMicros(), 2.0, 1e-9);
+  EXPECT_NEAR(rec.ElementsPerSecond(), 500000.0, 1e-6);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec(1000);
+  EXPECT_EQ(rec.MeanDelayPerElementMicros(), 0.0);
+  EXPECT_EQ(rec.ElementsPerSecond(), 0.0);
+}
+
+TEST(PeakTracker, TracksPeakAndMean) {
+  PeakTracker t;
+  t.Observe(3);
+  t.Observe(10);
+  t.Observe(7);
+  EXPECT_EQ(t.peak(), 10u);
+  EXPECT_NEAR(t.mean(), 20.0 / 3.0, 1e-12);
+  EXPECT_EQ(t.count(), 3u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedNanos(), 0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,72 @@
+// CSV ingestion parsing.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stream/csv.h"
+
+namespace psky {
+namespace {
+
+TEST(CsvParse, ValidLine) {
+  const auto r = ParseElementCsv("1.5, 2.25, 0.8", 2, 7);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.element.pos, Point({1.5, 2.25}));
+  EXPECT_DOUBLE_EQ(r.element.prob, 0.8);
+  EXPECT_EQ(r.element.seq, 7u);
+  EXPECT_DOUBLE_EQ(r.element.time, 0.0);
+}
+
+TEST(CsvParse, ValidLineWithTimestamp) {
+  const auto r = ParseElementCsv("1,2,3,0.5,12.75", 3, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.element.time, 12.75);
+}
+
+TEST(CsvParse, SkipsCommentsAndBlanks) {
+  EXPECT_TRUE(ParseElementCsv("# header", 2, 0).skip);
+  EXPECT_TRUE(ParseElementCsv("", 2, 0).skip);
+  EXPECT_TRUE(ParseElementCsv("   \t ", 2, 0).skip);
+}
+
+TEST(CsvParse, RejectsWrongFieldCount) {
+  EXPECT_FALSE(ParseElementCsv("1,2", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,3,4,5,6", 2, 0).ok);
+}
+
+TEST(CsvParse, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseElementCsv("1,x,0.5", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,zebra", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,", 2, 0).ok);
+}
+
+TEST(CsvParse, RejectsOutOfRangeProbability) {
+  EXPECT_FALSE(ParseElementCsv("1,2,0.0", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,1.5", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,-0.2", 2, 0).ok);
+  EXPECT_TRUE(ParseElementCsv("1,2,1.0", 2, 0).ok);
+}
+
+TEST(CsvParse, NegativeAndScientificCoordinates) {
+  const auto r = ParseElementCsv("-3.5,1e-3,0.9", 2, 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.element.pos[0], -3.5);
+  EXPECT_DOUBLE_EQ(r.element.pos[1], 1e-3);
+}
+
+TEST(CsvReader, AssignsSequentialSeqsAndSkips) {
+  std::istringstream in("# two elements\n1,2,0.5\n\n3,4,0.25\n");
+  CsvElementReader reader(&in, 2);
+  auto a = reader.Next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->seq, 0u);
+  auto b = reader.Next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->seq, 1u);
+  EXPECT_DOUBLE_EQ(b->prob, 0.25);
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,200 @@
+// MSKY (multiple thresholds), QSKY (ad-hoc queries) and the top-k
+// extension, validated against snapshot oracles and the naive operator.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/msky_operator.h"
+#include "core/naive_operator.h"
+#include "core/snapshot.h"
+#include "core/topk_operator.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+#include "test_util.h"
+
+namespace psky {
+namespace {
+
+std::set<uint64_t> SeqSet(const std::vector<SkylineMember>& ms) {
+  std::set<uint64_t> out;
+  for (const auto& m : ms) out.insert(m.element.seq);
+  return out;
+}
+
+TEST(Msky, ThresholdValidation) {
+  MskyOperator op(2, {0.9, 0.6, 0.3});
+  EXPECT_EQ(op.num_thresholds(), 3);
+  EXPECT_DOUBLE_EQ(op.thresholds()[0], 0.9);
+  EXPECT_DOUBLE_EQ(op.thresholds()[2], 0.3);
+}
+
+TEST(Msky, BandsMatchSnapshotOracleAtEveryStep) {
+  const std::vector<double> qs = {0.8, 0.5, 0.3, 0.1};
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.spatial = SpatialDistribution::kAntiCorrelated;
+  cfg.seed = 42;
+  StreamGenerator gen(cfg);
+
+  MskyOperator op(3, qs);
+  CountWindow window(40);
+  for (const UncertainElement& e : gen.Take(250)) {
+    if (auto expired = window.Push(e)) op.Expire(*expired);
+    op.Insert(e);
+
+    const auto snap = window.Snapshot();
+    for (size_t i = 0; i < qs.size(); ++i) {
+      std::set<uint64_t> want;
+      for (size_t idx : QSkylineIndices(snap, qs[i])) {
+        want.insert(snap[idx].seq);
+      }
+      const auto got = op.Skyline(static_cast<int>(i) + 1);
+      ASSERT_EQ(want, SeqSet(got))
+          << "threshold " << qs[i] << " at seq " << e.seq;
+      ASSERT_EQ(op.skyline_count(static_cast<int>(i) + 1), want.size());
+    }
+  }
+}
+
+TEST(Msky, SkylinesAreNestedAcrossThresholds) {
+  const std::vector<double> qs = {0.9, 0.6, 0.3};
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 17;
+  StreamGenerator gen(cfg);
+  MskyOperator op(2, qs);
+  CountWindow window(60);
+  for (const UncertainElement& e : gen.Take(300)) {
+    if (auto expired = window.Push(e)) op.Expire(*expired);
+    op.Insert(e);
+  }
+  const auto s1 = SeqSet(op.Skyline(1));
+  const auto s2 = SeqSet(op.Skyline(2));
+  const auto s3 = SeqSet(op.Skyline(3));
+  EXPECT_TRUE(std::includes(s2.begin(), s2.end(), s1.begin(), s1.end()));
+  EXPECT_TRUE(std::includes(s3.begin(), s3.end(), s2.begin(), s2.end()));
+  EXPECT_LE(s3.size(), op.candidate_count());
+}
+
+TEST(Qsky, AdHocMatchesSnapshotAndCount) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 23;
+  StreamGenerator gen(cfg);
+  MskyOperator op(3, {0.7, 0.4, 0.2});
+  CountWindow window(50);
+  Rng qrng(5);
+  for (const UncertainElement& e : gen.Take(300)) {
+    if (auto expired = window.Push(e)) op.Expire(*expired);
+    op.Insert(e);
+    // Ad-hoc thresholds q' uniform in [q_k, 1].
+    const double qp = 0.2 + 0.8 * qrng.NextDouble();
+    const auto snap = window.Snapshot();
+    std::set<uint64_t> want;
+    for (size_t idx : QSkylineIndices(snap, qp)) want.insert(snap[idx].seq);
+    const auto got = op.AdHocQuery(qp);
+    ASSERT_EQ(want, SeqSet(got)) << "q' = " << qp << " at seq " << e.seq;
+    ASSERT_EQ(op.AdHocCount(qp), want.size());
+  }
+}
+
+TEST(Qsky, AdHocIsReadOnly) {
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 31;
+  StreamGenerator gen(cfg);
+  MskyOperator op(2, {0.6, 0.3});
+  for (const UncertainElement& e : gen.Take(100)) op.Insert(e);
+  const size_t before_candidates = op.candidate_count();
+  const auto before_sky = SeqSet(op.Skyline(1));
+  for (double qp : {0.3, 0.5, 0.7, 0.95}) {
+    (void)op.AdHocQuery(qp);
+    (void)op.AdHocCount(qp);
+  }
+  EXPECT_EQ(op.candidate_count(), before_candidates);
+  EXPECT_EQ(SeqSet(op.Skyline(1)), before_sky);
+  op.tree().CheckInvariants(true);
+}
+
+TEST(Msky, SingleThresholdEquivalentToNaive) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 37;
+  StreamGenerator gen(cfg);
+  MskyOperator msky(3, {0.3});
+  NaiveSkylineOperator naive(3, 0.3);
+  CountWindow window(45);
+  for (const UncertainElement& e : gen.Take(250)) {
+    if (auto expired = window.Push(e)) {
+      msky.Expire(*expired);
+      naive.Expire(*expired);
+    }
+    msky.Insert(e);
+    naive.Insert(e);
+    ASSERT_EQ(SeqSet(naive.Skyline()), SeqSet(msky.Skyline(1)));
+  }
+}
+
+TEST(TopK, MatchesSnapshotOracle) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.spatial = SpatialDistribution::kAntiCorrelated;
+  cfg.seed = 53;
+  StreamGenerator gen(cfg);
+  TopKSkylineOperator op(3, 0.1, 5);
+  CountWindow window(40);
+  for (const UncertainElement& e : gen.Take(250)) {
+    if (auto expired = window.Push(e)) op.Expire(*expired);
+    op.Insert(e);
+
+    const auto snap = window.Snapshot();
+    const auto want_idx = TopKSkylineIndices(snap, 0.1, 5);
+    std::vector<uint64_t> want;
+    for (size_t idx : want_idx) want.push_back(snap[idx].seq);
+
+    const auto got = op.TopK();
+    std::vector<uint64_t> got_seqs;
+    for (const auto& m : got) got_seqs.push_back(m.element.seq);
+
+    // Ordered by decreasing P_sky; ties may order differently, so compare
+    // the probability sequences and the sets.
+    ASSERT_EQ(want.size(), got_seqs.size()) << "at seq " << e.seq;
+    const auto want_set = std::set<uint64_t>(want.begin(), want.end());
+    const auto got_set = std::set<uint64_t>(got_seqs.begin(), got_seqs.end());
+    if (want_set != got_set) {
+      // Allow only tie-induced differences: the k-th probability equals
+      // the (k+1)-th.
+      const auto all = TopKSkylineIndices(snap, 0.1, snap.size());
+      ASSERT_GT(all.size(), want.size());
+    }
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_GE(got[i - 1].psky, got[i].psky - 1e-12);
+    }
+    for (const auto& m : got) EXPECT_GE(m.psky, 0.1 - 1e-9);
+  }
+}
+
+TEST(TopK, KLargerThanSkyline) {
+  TopKSkylineOperator op(2, 0.2, 100);
+  op.Insert(MakeElement({0.1, 0.9}, 0.8, 1));
+  op.Insert(MakeElement({0.9, 0.1}, 0.6, 2));
+  op.Insert(MakeElement({0.5, 0.5}, 0.9, 3));
+  const auto top = op.TopK();
+  EXPECT_EQ(top.size(), 3u);  // all qualify, fewer than k
+  EXPECT_NEAR(top[0].psky, 0.9, 1e-9);
+}
+
+TEST(TopK, ExcludesBelowThreshold) {
+  TopKSkylineOperator op(2, 0.5, 10);
+  op.Insert(MakeElement({0.1, 0.1}, 0.9, 1));
+  op.Insert(MakeElement({0.5, 0.5}, 0.9, 2));  // dominated: psky = 0.09
+  const auto top = op.TopK();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].element.seq, 1u);
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,233 @@
+// Validates the naive operator against the definitional snapshot oracle at
+// every stream step, and checks the paper's worked Examples 2 and 3 plus
+// the structural lemmas of Section III-A.
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_operator.h"
+#include "core/possible_worlds.h"
+#include "core/snapshot.h"
+#include "geom/dominance.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+#include "test_util.h"
+
+namespace psky {
+namespace {
+
+std::vector<UncertainElement> PaperExample() {
+  return {
+      MakeElement({3.0, 4.0}, 0.9, 1),  // a1
+      MakeElement({2.0, 2.0}, 0.4, 2),  // a2
+      MakeElement({1.0, 3.0}, 0.3, 3),  // a3
+      MakeElement({4.0, 5.0}, 0.9, 4),  // a4
+      MakeElement({3.5, 4.5}, 0.1, 5),  // a5
+  };
+}
+
+std::set<uint64_t> SeqSet(const std::vector<SkylineMember>& ms) {
+  std::set<uint64_t> out;
+  for (const auto& m : ms) out.insert(m.element.seq);
+  return out;
+}
+
+// Runs the operator over a stream with window size N and, at every step,
+// compares S_{N,q} and SKY_{N,q} against the snapshot oracle.
+void ValidateAgainstSnapshots(WindowSkylineOperator* op, size_t window_size,
+                              const std::vector<UncertainElement>& stream) {
+  StreamProcessor proc(op, window_size);
+  for (const UncertainElement& e : stream) {
+    proc.Step(e);
+    const std::vector<UncertainElement> window = proc.window().Snapshot();
+    const double q = op->threshold();
+
+    std::set<uint64_t> want_cand;
+    for (size_t idx : CandidateSetIndices(window, q)) {
+      want_cand.insert(window[idx].seq);
+    }
+    std::set<uint64_t> want_sky;
+    for (size_t idx : QSkylineIndices(window, q)) {
+      want_sky.insert(window[idx].seq);
+    }
+    ASSERT_EQ(want_cand, SeqSet(op->Candidates()))
+        << "candidate set mismatch at seq " << e.seq;
+    ASSERT_EQ(want_sky, SeqSet(op->Skyline()))
+        << "skyline mismatch at seq " << e.seq;
+    ASSERT_EQ(op->candidate_count(), want_cand.size());
+    ASSERT_EQ(op->skyline_count(), want_sky.size());
+
+    // Reported probabilities must match the definitional values computed
+    // over the candidate set.
+    std::vector<UncertainElement> restricted;
+    for (size_t idx : CandidateSetIndices(window, q)) {
+      restricted.push_back(window[idx]);
+    }
+    for (const SkylineMember& m : op->Candidates()) {
+      const auto it = std::find_if(
+          restricted.begin(), restricted.end(),
+          [&m](const UncertainElement& w) { return w.seq == m.element.seq; });
+      ASSERT_TRUE(it != restricted.end());
+      const size_t ridx = static_cast<size_t>(it - restricted.begin());
+      EXPECT_NEAR(m.pnew, PnewOf(restricted, ridx), 1e-9);
+      EXPECT_NEAR(m.pold, PoldOf(restricted, ridx), 1e-9);
+      EXPECT_NEAR(m.psky, SkylineProbabilityByFormula(restricted, ridx),
+                  1e-9);
+    }
+  }
+}
+
+TEST(NaiveOperator, PaperExample2RestrictedProbabilities) {
+  // Window = {a1..a5}, N = 5, q = 0.5. S = {a2,a3,a4,a5};
+  // P_old(a4)|S = 0.6 * 0.7 = 0.42 (a1 is excluded from S).
+  NaiveSkylineOperator op(2, 0.5);
+  for (const auto& e : PaperExample()) op.Insert(e);
+  const auto cands = op.Candidates();
+  EXPECT_EQ(SeqSet(cands), (std::set<uint64_t>{2, 3, 4, 5}));
+  for (const auto& m : cands) {
+    if (m.element.seq == 4) {
+      EXPECT_NEAR(m.pnew, 0.9, 1e-9);
+      EXPECT_NEAR(m.pold, 0.42, 1e-9);
+    }
+  }
+}
+
+TEST(NaiveOperator, PaperExample3WindowProgression) {
+  // N = 4, q = 0.5 over a1..a6 (a6 = (0.5, 10) does not dominate a4).
+  auto stream = PaperExample();
+  stream.push_back(MakeElement({0.5, 10.0}, 0.5, 6));  // a6
+
+  NaiveSkylineOperator op(2, 0.5);
+  StreamProcessor proc(&op, 4);
+
+  // First window: a1..a4. S = {a2,a3,a4}; P_sky|S(a4) = 0.9*0.42 = 0.378.
+  for (int i = 0; i < 4; ++i) proc.Step(stream[static_cast<size_t>(i)]);
+  EXPECT_EQ(SeqSet(op.Candidates()), (std::set<uint64_t>{2, 3, 4}));
+  for (const auto& m : op.Candidates()) {
+    if (m.element.seq == 4) EXPECT_NEAR(m.psky, 0.378, 1e-9);
+  }
+  // No element reaches q = 0.5 in this window (max is a4's 0.378).
+  EXPECT_TRUE(op.Skyline().empty());
+
+  // Second window: a2..a5. P_sky(a4) = 0.9*0.42*0.9 = 0.3402 < 0.5;
+  // P_sky(a3) = 0.3 < 0.5.
+  proc.Step(stream[4]);
+  EXPECT_EQ(SeqSet(op.Candidates()), (std::set<uint64_t>{2, 3, 4, 5}));
+  for (const auto& m : op.Candidates()) {
+    if (m.element.seq == 4) EXPECT_NEAR(m.psky, 0.3402, 1e-9);
+    if (m.element.seq == 3) EXPECT_NEAR(m.psky, 0.3, 1e-9);
+  }
+
+  // Third window: a3..a6. P_sky(a4) = 0.9*0.7*0.9 = 0.567 >= 0.5: a4 is
+  // now a skyline point (Theorem 5's "may become a skyline point").
+  proc.Step(stream[5]);
+  bool found_a4 = false;
+  for (const auto& m : op.Skyline()) {
+    if (m.element.seq == 4) {
+      found_a4 = true;
+      EXPECT_NEAR(m.psky, 0.567, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_a4);
+}
+
+TEST(NaiveOperator, MatchesSnapshotsOnRandomStreams) {
+  for (auto dist : {SpatialDistribution::kIndependent,
+                    SpatialDistribution::kAntiCorrelated}) {
+    for (int dims : {2, 3}) {
+      StreamConfig cfg;
+      cfg.dims = dims;
+      cfg.spatial = dist;
+      cfg.seed = 100 + static_cast<uint64_t>(dims);
+      StreamGenerator gen(cfg);
+      NaiveSkylineOperator op(dims, 0.3);
+      ValidateAgainstSnapshots(&op, 25, gen.Take(150));
+    }
+  }
+}
+
+TEST(NaiveOperator, MatchesSnapshotsAtHighThreshold) {
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 55;
+  StreamGenerator gen(cfg);
+  NaiveSkylineOperator op(2, 0.9);
+  ValidateAgainstSnapshots(&op, 20, gen.Take(120));
+}
+
+TEST(NaiveOperator, Lemma2CandidateSetClosedUnderNewerDominators) {
+  // For every candidate a, every newer dominator of a is also a candidate.
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 77;
+  StreamGenerator gen(cfg);
+  NaiveSkylineOperator op(3, 0.4);
+  StreamProcessor proc(&op, 40);
+  for (const auto& e : gen.Take(200)) {
+    proc.Step(e);
+    const auto cands = op.Candidates();
+    const auto window = proc.window().Snapshot();
+    const auto in_cands = SeqSet(cands);
+    for (const auto& m : cands) {
+      for (const auto& w : window) {
+        if (w.seq > m.element.seq && Dominates(w.pos, m.element.pos)) {
+          EXPECT_TRUE(in_cands.count(w.seq))
+              << "newer dominator " << w.seq << " of candidate "
+              << m.element.seq << " missing from S";
+        }
+      }
+    }
+  }
+}
+
+TEST(NaiveOperator, PnewMonotoneNonIncreasingPerElement) {
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 31;
+  StreamGenerator gen(cfg);
+  NaiveSkylineOperator op(2, 0.2);
+  StreamProcessor proc(&op, 30);
+  std::unordered_map<uint64_t, double> last_pnew;
+  for (const auto& e : gen.Take(200)) {
+    proc.Step(e);
+    for (const auto& m : op.Candidates()) {
+      auto it = last_pnew.find(m.element.seq);
+      if (it != last_pnew.end()) {
+        EXPECT_LE(m.pnew, it->second + 1e-12);
+        it->second = m.pnew;
+      } else {
+        last_pnew.emplace(m.element.seq, m.pnew);
+      }
+    }
+  }
+}
+
+TEST(NaiveOperator, ExpireOfEvictedElementIsNoOp) {
+  // a1 gets evicted by dominators; expiring it later must not disturb
+  // restricted probabilities.
+  NaiveSkylineOperator op(2, 0.5);
+  op.Insert(MakeElement({5.0, 5.0}, 0.9, 1));
+  op.Insert(MakeElement({1.0, 1.0}, 0.9, 2));  // dominates and evicts seq 1
+  EXPECT_EQ(op.candidate_count(), 1u);
+  op.Expire(MakeElement({5.0, 5.0}, 0.9, 1));
+  EXPECT_EQ(op.candidate_count(), 1u);
+  const auto cands = op.Candidates();
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_NEAR(cands[0].psky, 0.9, 1e-12);
+}
+
+TEST(NaiveOperator, CertainElementZeroesDominatedPsky) {
+  NaiveSkylineOperator op(2, 0.3);
+  op.Insert(MakeElement({2.0, 2.0}, 0.8, 1));
+  op.Insert(MakeElement({1.0, 1.0}, 1.0, 2));  // certain dominator
+  // seq 1 is evicted: P_new = (1 - ~1.0) ~ 0 < 0.3.
+  EXPECT_EQ(op.candidate_count(), 1u);
+  EXPECT_EQ(op.Candidates()[0].element.seq, 2u);
+}
+
+}  // namespace
+}  // namespace psky

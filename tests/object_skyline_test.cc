@@ -1,0 +1,151 @@
+// Multi-instance objects (Section VI, Pei et al. semantics): the operator
+// must agree with the definitional evaluator, and Monte-Carlo
+// discretization must converge for continuous objects.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "core/object_skyline.h"
+
+namespace psky {
+namespace {
+
+UncertainObject MakeObject(uint64_t id,
+                           std::vector<std::vector<double>> instances) {
+  UncertainObject obj;
+  obj.id = id;
+  for (const auto& coords : instances) {
+    Point p(static_cast<int>(coords.size()));
+    for (size_t i = 0; i < coords.size(); ++i) {
+      p[static_cast<int>(i)] = coords[i];
+    }
+    obj.instances.push_back(p);
+  }
+  return obj;
+}
+
+TEST(ObjectOracle, SingleObjectIsCertainSkyline) {
+  std::vector<UncertainObject> w = {MakeObject(1, {{0.5, 0.5}, {0.7, 0.2}})};
+  EXPECT_DOUBLE_EQ(ObjectSkylineProbability(w, 0), 1.0);
+}
+
+TEST(ObjectOracle, HandComputedTwoObjects) {
+  // U has instances u1=(1,1), u2=(5,5); V has v1=(2,2), v2=(9,9).
+  // For u1: no V instance dominates -> factor 1.
+  // For u2: v1 dominates (1 of 2) -> factor 1 - 1/2 = 0.5.
+  // P_sky(U) = (1 + 0.5) / 2 = 0.75.
+  std::vector<UncertainObject> w = {
+      MakeObject(1, {{1.0, 1.0}, {5.0, 5.0}}),
+      MakeObject(2, {{2.0, 2.0}, {9.0, 9.0}}),
+  };
+  EXPECT_DOUBLE_EQ(ObjectSkylineProbability(w, 0), 0.75);
+  // For v1=(2,2): u1 dominates (1 of 2) -> 0.5; v2: both u dominate -> 0.
+  // P_sky(V) = (0.5 + 0) / 2 = 0.25.
+  EXPECT_DOUBLE_EQ(ObjectSkylineProbability(w, 1), 0.25);
+}
+
+TEST(ObjectOperator, MatchesOracleOnRandomWindows) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int d = 2 + static_cast<int>(rng.NextBounded(2));
+    std::vector<UncertainObject> window;
+    ObjectSkylineOperator op(d, 0.3);
+    const size_t n_objects = 3 + rng.NextBounded(8);
+    for (uint64_t id = 0; id < n_objects; ++id) {
+      UncertainObject obj;
+      obj.id = id + 1;
+      const size_t m = 1 + rng.NextBounded(5);
+      for (size_t i = 0; i < m; ++i) {
+        Point p(d);
+        for (int j = 0; j < d; ++j) p[j] = rng.NextDouble();
+        obj.instances.push_back(p);
+      }
+      window.push_back(obj);
+      op.Insert(obj);
+    }
+    for (size_t i = 0; i < window.size(); ++i) {
+      EXPECT_NEAR(op.SkylineProbability(window[i].id),
+                  ObjectSkylineProbability(window, i), 1e-12);
+    }
+    // Skyline = objects whose oracle probability clears the threshold.
+    std::vector<uint64_t> want;
+    for (size_t i = 0; i < window.size(); ++i) {
+      if (ObjectSkylineProbability(window, i) >= 0.3) {
+        want.push_back(window[i].id);
+      }
+    }
+    EXPECT_EQ(op.Skyline(), want);
+  }
+}
+
+TEST(ObjectOperator, ExpireRestoresProbabilities) {
+  ObjectSkylineOperator op(2, 0.3);
+  op.Insert(MakeObject(1, {{5.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(op.SkylineProbability(1), 1.0);
+  op.Insert(MakeObject(2, {{1.0, 1.0}}));  // dominates object 1 certainly
+  EXPECT_DOUBLE_EQ(op.SkylineProbability(1), 0.0);
+  op.Expire(2);
+  EXPECT_DOUBLE_EQ(op.SkylineProbability(1), 1.0);
+  EXPECT_EQ(op.object_count(), 1u);
+  op.Expire(99);  // unknown id: no-op
+  EXPECT_EQ(op.object_count(), 1u);
+}
+
+TEST(ObjectOperator, AtomicExpiryRemovesAllInstances) {
+  ObjectSkylineOperator op(2, 0.3);
+  UncertainObject big;
+  big.id = 7;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Point p(2);
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble();
+    big.instances.push_back(p);
+  }
+  op.Insert(big);
+  op.Insert(MakeObject(8, {{2.0, 2.0}}));
+  op.Expire(7);
+  EXPECT_EQ(op.object_count(), 1u);
+  EXPECT_DOUBLE_EQ(op.SkylineProbability(8), 1.0);
+}
+
+TEST(ObjectOperator, SkylineProbabilityOfAbsentObjectIsZero) {
+  ObjectSkylineOperator op(2, 0.3);
+  EXPECT_DOUBLE_EQ(op.SkylineProbability(1), 0.0);
+}
+
+TEST(MonteCarlo, DiscretizationConvergesForGaussianObjects) {
+  // Two Gaussian objects whose centers are ordered: with tight spread the
+  // dominated one's skyline probability must approach the instance-count
+  // fraction predicted by the overlap; with far-apart centers it tends to
+  // 0 and the dominating one's to 1.
+  Rng rng(21);
+  auto gaussian_at = [](double cx, double cy, double sd) {
+    return [cx, cy, sd](Rng& r) {
+      Point p(2);
+      p[0] = cx + sd * r.NextGaussian();
+      p[1] = cy + sd * r.NextGaussian();
+      return p;
+    };
+  };
+  const UncertainObject front =
+      DiscretizeByMonteCarlo(1, 400, rng, gaussian_at(0.2, 0.2, 0.02));
+  const UncertainObject back =
+      DiscretizeByMonteCarlo(2, 400, rng, gaussian_at(0.8, 0.8, 0.02));
+  EXPECT_EQ(front.instances.size(), 400u);
+
+  std::vector<UncertainObject> w = {front, back};
+  EXPECT_GT(ObjectSkylineProbability(w, 0), 0.999);
+  EXPECT_LT(ObjectSkylineProbability(w, 1), 1e-3);
+
+  ObjectSkylineOperator op(2, 0.5);
+  op.Insert(front);
+  op.Insert(back);
+  EXPECT_EQ(op.Skyline(), std::vector<uint64_t>{1});
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "core/possible_worlds.h"
+#include "core/snapshot.h"
+#include "test_util.h"
+
+namespace psky {
+namespace {
+
+// The running example of the paper (Figure 1a): coordinates reconstructed
+// from the dominance relations stated in Examples 1-3, probabilities as
+// given:
+//   a1 = 0.9, a2 = 0.4, a3 = 0.3, a4 = 0.9, a5 = 0.1
+//   a2 ≺ a1, a3 ≺ a1; a1, a2, a3, a5 ≺ a4; a5 incomparable with a1-a3.
+std::vector<UncertainElement> PaperExample() {
+  return {
+      MakeElement({3.0, 4.0}, 0.9, 1),    // a1
+      MakeElement({2.0, 2.0}, 0.4, 2),    // a2
+      MakeElement({1.0, 3.0}, 0.3, 3),    // a3
+      MakeElement({4.0, 5.0}, 0.9, 4),    // a4
+      MakeElement({3.5, 4.5}, 0.1, 5),    // a5
+  };
+}
+
+TEST(PossibleWorlds, PaperExample1Values) {
+  const auto elems = PaperExample();
+  // Example 1: P_new(a4) = 1 - P(a5) = 0.9,
+  //            P_old(a4) = 0.6 * 0.7 * 0.1 = 0.042,
+  //            P_sky(a4) = 0.9 * 0.9 * 0.042 ≈ 0.034.
+  EXPECT_NEAR(PnewOf(elems, 3), 0.9, 1e-12);
+  EXPECT_NEAR(PoldOf(elems, 3), 0.042, 1e-12);
+  EXPECT_NEAR(SkylineProbabilityByFormula(elems, 3), 0.03402, 1e-12);
+}
+
+TEST(PossibleWorlds, PaperExample2CandidateSet) {
+  const auto elems = PaperExample();
+  // Example 2: with N = 5, q = 0.5: S = {a2, a3, a4, a5} because
+  // P_new(a1) = 0.6 * 0.7 = 0.42 < 0.5.
+  EXPECT_NEAR(PnewOf(elems, 0), 0.42, 1e-12);
+  const std::vector<size_t> s = CandidateSetIndices(elems, 0.5);
+  EXPECT_EQ(s, (std::vector<size_t>{1, 2, 3, 4}));
+}
+
+TEST(PossibleWorlds, EnumerationMatchesFormulaOnPaperExample) {
+  const auto elems = PaperExample();
+  for (size_t i = 0; i < elems.size(); ++i) {
+    EXPECT_NEAR(SkylineProbabilityByEnumeration(elems, i),
+                SkylineProbabilityByFormula(elems, i), 1e-12)
+        << "element " << i;
+  }
+}
+
+TEST(PossibleWorlds, SingleElement) {
+  const std::vector<UncertainElement> one = {MakeElement({1.0, 1.0}, 0.7, 1)};
+  EXPECT_NEAR(SkylineProbabilityByEnumeration(one, 0), 0.7, 1e-15);
+  EXPECT_NEAR(SkylineProbabilityByFormula(one, 0), 0.7, 1e-15);
+}
+
+TEST(PossibleWorlds, DominatedByCertainElementHasZeroProbability) {
+  const std::vector<UncertainElement> elems = {
+      MakeElement({1.0, 1.0}, 1.0, 1),
+      MakeElement({2.0, 2.0}, 0.8, 2),
+  };
+  EXPECT_NEAR(SkylineProbabilityByEnumeration(elems, 1), 0.0, 1e-15);
+  EXPECT_NEAR(SkylineProbabilityByFormula(elems, 1), 0.0, 1e-15);
+}
+
+TEST(PossibleWorlds, EnumerationMatchesFormulaRandomized) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int d = 2 + static_cast<int>(rng.NextBounded(3));
+    const size_t n = 2 + rng.NextBounded(9);  // up to 10 elements
+    std::vector<UncertainElement> elems;
+    for (size_t i = 0; i < n; ++i) {
+      UncertainElement e;
+      e.pos = Point(d);
+      for (int j = 0; j < d; ++j) e.pos[j] = rng.NextDouble();
+      e.prob = 0.05 + 0.95 * rng.NextDouble();
+      e.seq = i;
+      elems.push_back(e);
+    }
+    const std::vector<double> all = AllSkylineProbabilities(elems);
+    for (size_t i = 0; i < n; ++i) {
+      const double enumerated = SkylineProbabilityByEnumeration(elems, i);
+      EXPECT_NEAR(enumerated, all[i], 1e-10);
+    }
+  }
+}
+
+TEST(PossibleWorlds, DecompositionIdentity) {
+  // Eq. (4): P_sky = P(a) * P_old(a) * P_new(a).
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<UncertainElement> elems;
+    for (size_t i = 0; i < 12; ++i) {
+      UncertainElement e;
+      e.pos = Point(3);
+      for (int j = 0; j < 3; ++j) e.pos[j] = rng.NextDouble();
+      e.prob = 0.1 + 0.9 * rng.NextDouble();
+      e.seq = i;
+      elems.push_back(e);
+    }
+    for (size_t i = 0; i < elems.size(); ++i) {
+      EXPECT_NEAR(
+          SkylineProbabilityByFormula(elems, i),
+          elems[i].prob * PnewOf(elems, i) * PoldOf(elems, i), 1e-12);
+    }
+  }
+}
+
+TEST(Snapshot, QSkylineSubsetOfCandidates) {
+  Rng rng(9);
+  std::vector<UncertainElement> elems;
+  for (size_t i = 0; i < 40; ++i) {
+    UncertainElement e;
+    e.pos = Point(2);
+    e.pos[0] = rng.NextDouble();
+    e.pos[1] = rng.NextDouble();
+    e.prob = 0.1 + 0.9 * rng.NextDouble();
+    e.seq = i;
+    elems.push_back(e);
+  }
+  for (double q : {0.1, 0.3, 0.7}) {
+    const auto sky = QSkylineIndices(elems, q);
+    const auto cand = CandidateSetIndices(elems, q);
+    // Lemma 1: every q-skyline point is in S_{N,q}.
+    for (size_t s : sky) {
+      EXPECT_TRUE(std::find(cand.begin(), cand.end(), s) != cand.end());
+    }
+  }
+}
+
+TEST(Snapshot, ThresholdMonotonicity) {
+  Rng rng(10);
+  std::vector<UncertainElement> elems;
+  for (size_t i = 0; i < 60; ++i) {
+    UncertainElement e;
+    e.pos = Point(3);
+    for (int j = 0; j < 3; ++j) e.pos[j] = rng.NextDouble();
+    e.prob = rng.NextDouble(0.05, 1.0);
+    e.seq = i;
+    elems.push_back(e);
+  }
+  size_t prev = elems.size() + 1;
+  for (double q : {0.05, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const size_t count = QSkylineIndices(elems, q).size();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(Snapshot, TopKOrderingAndCap) {
+  Rng rng(11);
+  std::vector<UncertainElement> elems;
+  for (size_t i = 0; i < 50; ++i) {
+    UncertainElement e;
+    e.pos = Point(2);
+    e.pos[0] = rng.NextDouble();
+    e.pos[1] = rng.NextDouble();
+    e.prob = rng.NextDouble(0.05, 1.0);
+    e.seq = i;
+    elems.push_back(e);
+  }
+  const auto psky = AllSkylineProbabilities(elems);
+  const auto top = TopKSkylineIndices(elems, 0.1, 5);
+  EXPECT_LE(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(psky[top[i - 1]], psky[top[i]]);
+  }
+  for (size_t idx : top) EXPECT_GE(psky[idx], 0.1);
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "rtree/rtree.h"
+
+namespace psky {
+namespace {
+
+Point RandomPoint(Rng& rng, int d) {
+  Point p(d);
+  for (int i = 0; i < d; ++i) p[i] = rng.NextDouble();
+  return p;
+}
+
+TEST(RTree, EmptyTree) {
+  RTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.bounds().empty());
+  tree.CheckInvariants();
+  EXPECT_FALSE(tree.Erase(Point({0.0, 0.0}), 1));
+}
+
+TEST(RTree, InsertAndBounds) {
+  RTree tree(2);
+  tree.Insert(Point({1.0, 2.0}), 1);
+  tree.Insert(Point({3.0, 0.5}), 2);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.bounds().min(), Point({1.0, 0.5}));
+  EXPECT_EQ(tree.bounds().max(), Point({3.0, 2.0}));
+  tree.CheckInvariants();
+}
+
+TEST(RTree, RangeQueryMatchesLinearScan) {
+  Rng rng(1);
+  const int d = 3;
+  RTree tree(d);
+  std::vector<RTree::Item> all;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const Point p = RandomPoint(rng, d);
+    tree.Insert(p, i);
+    all.push_back({p, i});
+  }
+  tree.CheckInvariants();
+  for (int trial = 0; trial < 50; ++trial) {
+    Point lo(d), hi(d);
+    for (int j = 0; j < d; ++j) {
+      const double a = rng.NextDouble(), b = rng.NextDouble();
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const Mbr range(lo, hi);
+    std::set<uint64_t> expected;
+    for (const auto& item : all) {
+      if (range.Contains(item.pos)) expected.insert(item.id);
+    }
+    std::set<uint64_t> got;
+    tree.RangeQuery(range,
+                    [&got](const RTree::Item& item) { got.insert(item.id); });
+    EXPECT_EQ(expected, got);
+  }
+}
+
+TEST(RTree, EraseExactMatchOnly) {
+  RTree tree(2);
+  tree.Insert(Point({1.0, 1.0}), 1);
+  tree.Insert(Point({1.0, 1.0}), 2);  // same pos, different id
+  EXPECT_FALSE(tree.Erase(Point({1.0, 1.0}), 3));
+  EXPECT_TRUE(tree.Erase(Point({1.0, 1.0}), 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_FALSE(tree.Erase(Point({2.0, 1.0}), 2));  // wrong position
+  EXPECT_TRUE(tree.Erase(Point({1.0, 1.0}), 2));
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+}
+
+TEST(RTree, RandomInsertEraseChurnKeepsInvariants) {
+  Rng rng(7);
+  const int d = 2;
+  RTree tree(d, RTree::Options{8, 3});
+  std::vector<RTree::Item> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const bool insert = live.empty() || rng.NextBernoulli(0.6);
+    if (insert) {
+      const Point p = RandomPoint(rng, d);
+      tree.Insert(p, next_id);
+      live.push_back({p, next_id});
+      ++next_id;
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      EXPECT_TRUE(tree.Erase(live[pick].pos, live[pick].id));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(tree.size(), live.size());
+    if (step % 500 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  // Everything still present is findable.
+  size_t found = 0;
+  tree.RangeQuery(tree.bounds(), [&found](const RTree::Item&) { ++found; });
+  EXPECT_EQ(found, live.size());
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  Rng rng(3);
+  RTree tree(2, RTree::Options{8, 3});
+  for (uint64_t i = 0; i < 5000; ++i) tree.Insert(RandomPoint(rng, 2), i);
+  // Fanout >= 3 above the leaves: height comfortably below 12 for 5000.
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_LE(tree.Height(), 12);
+}
+
+TEST(RTree, TraverseRespectsDescendPredicate) {
+  Rng rng(9);
+  RTree tree(2);
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(RandomPoint(rng, 2), i);
+  size_t visited = 0;
+  tree.Traverse([](const Mbr&) { return false; },
+                [&visited](const RTree::Item&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  tree.Traverse([](const Mbr&) { return true; },
+                [&visited](const RTree::Item&) { ++visited; });
+  EXPECT_EQ(visited, 500u);
+}
+
+class RTreeFanoutTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(RTreeFanoutTest, ChurnAcrossFanouts) {
+  const auto [max_entries, min_entries] = GetParam();
+  Rng rng(11);
+  RTree tree(3, RTree::Options{max_entries, min_entries});
+  std::vector<RTree::Item> live;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    const Point p = RandomPoint(rng, 3);
+    tree.Insert(p, i);
+    live.push_back({p, i});
+  }
+  for (int i = 0; i < 700; ++i) {
+    const size_t pick = rng.NextBounded(live.size());
+    ASSERT_TRUE(tree.Erase(live[pick].pos, live[pick].id));
+    live[pick] = live.back();
+    live.pop_back();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutTest,
+                         ::testing::Values(std::make_tuple(4, 2),
+                                           std::make_tuple(8, 3),
+                                           std::make_tuple(16, 6),
+                                           std::make_tuple(32, 12),
+                                           std::make_tuple(64, 24)));
+
+}  // namespace
+}  // namespace psky

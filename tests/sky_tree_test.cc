@@ -1,0 +1,294 @@
+// The heart of the validation: the aggregate sky-tree operator (SSKY) must
+// behave exactly like the naive reference operator on every stream step,
+// across dimensionalities, spatial distributions, probability models,
+// thresholds, window sizes and tree options — including the ablation
+// configurations (no lazy multipliers / no min-max pruning), which must be
+// functionally identical and only differ in work done.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_operator.h"
+#include "core/ssky_operator.h"
+#include "stream/generator.h"
+#include "stream/stock.h"
+#include "test_util.h"
+
+namespace psky {
+namespace {
+
+struct RunConfig {
+  int dims = 2;
+  SpatialDistribution dist = SpatialDistribution::kAntiCorrelated;
+  ProbDistribution prob_dist = ProbDistribution::kUniform;
+  double pmu = 0.5;
+  double q = 0.3;
+  size_t window = 50;
+  size_t stream_len = 400;
+  uint64_t seed = 1;
+  SkyTree::Options tree_options;
+};
+
+void RunAgreementTest(const RunConfig& rc) {
+  StreamConfig cfg;
+  cfg.dims = rc.dims;
+  cfg.spatial = rc.dist;
+  cfg.prob.distribution = rc.prob_dist;
+  cfg.prob.mean = rc.pmu;
+  cfg.seed = rc.seed;
+  StreamGenerator gen(cfg);
+
+  NaiveSkylineOperator naive(rc.dims, rc.q);
+  SskyOperator ssky(rc.dims, rc.q, rc.tree_options);
+  StreamProcessor naive_proc(&naive, rc.window);
+  StreamProcessor ssky_proc(&ssky, rc.window);
+
+  size_t step = 0;
+  for (const UncertainElement& e : gen.Take(rc.stream_len)) {
+    naive_proc.Step(e);
+    ssky_proc.Step(e);
+    ASSERT_NO_FATAL_FAILURE(ExpectOperatorsAgree(naive, ssky))
+        << "diverged at step " << step;
+    if (step % 37 == 0) {
+      ssky.tree().CheckInvariants(/*deep=*/true);
+    }
+    ++step;
+  }
+  ssky.tree().CheckInvariants(/*deep=*/true);
+}
+
+TEST(SkyTreeBasics, EmptyTree) {
+  SkyTree tree(2, {0.3});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.skyline_size(), 0u);
+  tree.CheckInvariants(true);
+  EXPECT_TRUE(tree.CollectAtLeast(0.5).empty());
+  EXPECT_EQ(tree.CountAtLeast(0.5), 0u);
+  EXPECT_TRUE(tree.TopK(3).empty());
+}
+
+TEST(SkyTreeBasics, SingleElement) {
+  SkyTree tree(2, {0.3});
+  UncertainElement e = MakeElement({0.5, 0.5}, 0.7, 1);
+  tree.Arrive(e);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.skyline_size(), 1u);
+  const auto sky = tree.CollectAtLeast(0.3);
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_NEAR(sky[0].psky, 0.7, 1e-9);
+  tree.CheckInvariants(true);
+  EXPECT_TRUE(tree.Expire(e));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.skyline_size(), 0u);
+  EXPECT_FALSE(tree.Expire(e));
+  tree.CheckInvariants(true);
+}
+
+TEST(SkyTreeBasics, PaperExample3Progression) {
+  // Same scenario as the naive-operator test, via the tree.
+  SskyOperator op(2, 0.5);
+  StreamProcessor proc(&op, 4);
+  std::vector<UncertainElement> stream = {
+      MakeElement({3.0, 4.0}, 0.9, 1),   MakeElement({2.0, 2.0}, 0.4, 2),
+      MakeElement({1.0, 3.0}, 0.3, 3),   MakeElement({4.0, 5.0}, 0.9, 4),
+      MakeElement({3.5, 4.5}, 0.1, 5),   MakeElement({0.5, 10.0}, 0.5, 6),
+  };
+  for (int i = 0; i < 4; ++i) proc.Step(stream[static_cast<size_t>(i)]);
+  EXPECT_EQ(op.candidate_count(), 3u);  // a1 evicted: P_new = 0.42
+  EXPECT_EQ(op.skyline_count(), 0u);
+
+  proc.Step(stream[4]);
+  EXPECT_EQ(op.candidate_count(), 4u);
+
+  proc.Step(stream[5]);
+  bool a4_in_sky = false;
+  for (const auto& m : op.Skyline()) {
+    if (m.element.seq == 4) {
+      a4_in_sky = true;
+      EXPECT_NEAR(m.psky, 0.567, 1e-9);
+    }
+  }
+  EXPECT_TRUE(a4_in_sky);
+  op.tree().CheckInvariants(true);
+}
+
+class SkyTreeAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<int, SpatialDistribution, double>> {};
+
+TEST_P(SkyTreeAgreement, MatchesNaiveStepByStep) {
+  const auto [dims, dist, q] = GetParam();
+  RunConfig rc;
+  rc.dims = dims;
+  rc.dist = dist;
+  rc.q = q;
+  rc.seed = 1000 + static_cast<uint64_t>(dims * 10) +
+            static_cast<uint64_t>(q * 100);
+  RunAgreementTest(rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsDistsThresholds, SkyTreeAgreement,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(SpatialDistribution::kIndependent,
+                                         SpatialDistribution::kCorrelated,
+                                         SpatialDistribution::kAntiCorrelated),
+                       ::testing::Values(0.1, 0.3, 0.7)));
+
+class SkyTreeWindows : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SkyTreeWindows, MatchesNaiveAcrossWindowSizes) {
+  RunConfig rc;
+  rc.window = GetParam();
+  rc.stream_len = 4 * GetParam() + 100;
+  rc.seed = 2000 + GetParam();
+  RunAgreementTest(rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SkyTreeWindows,
+                         ::testing::Values(1, 2, 5, 16, 64, 200));
+
+class SkyTreeProbModels
+    : public ::testing::TestWithParam<std::tuple<ProbDistribution, double>> {
+};
+
+TEST_P(SkyTreeProbModels, MatchesNaiveAcrossProbabilityModels) {
+  const auto [prob_dist, pmu] = GetParam();
+  RunConfig rc;
+  rc.prob_dist = prob_dist;
+  rc.pmu = pmu;
+  rc.dims = 3;
+  rc.seed = 3000 + static_cast<uint64_t>(pmu * 10);
+  RunAgreementTest(rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProbModels, SkyTreeProbModels,
+    ::testing::Combine(::testing::Values(ProbDistribution::kUniform,
+                                         ProbDistribution::kNormal),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+class SkyTreeOptions
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+
+TEST_P(SkyTreeOptions, AblationModesAreFunctionallyIdentical) {
+  const auto [use_lazy, use_pruning, max_entries] = GetParam();
+  RunConfig rc;
+  rc.tree_options.use_lazy = use_lazy;
+  rc.tree_options.use_minmax_pruning = use_pruning;
+  rc.tree_options.max_entries = max_entries;
+  rc.tree_options.min_entries = max_entries / 3 > 2 ? max_entries / 3 : 2;
+  rc.dims = 3;
+  rc.seed = 4000 + static_cast<uint64_t>(max_entries);
+  RunAgreementTest(rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, SkyTreeOptions,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(6, 12, 32)));
+
+TEST(SkyTree, StockStreamAgreement) {
+  StockConfig cfg;
+  cfg.seed = 8;
+  StockStreamGenerator gen(cfg);
+  NaiveSkylineOperator naive(2, 0.3);
+  SskyOperator ssky(2, 0.3);
+  StreamProcessor naive_proc(&naive, 80);
+  StreamProcessor ssky_proc(&ssky, 80);
+  for (const UncertainElement& e : gen.Take(600)) {
+    naive_proc.Step(e);
+    ssky_proc.Step(e);
+    ASSERT_NO_FATAL_FAILURE(ExpectOperatorsAgree(naive, ssky));
+  }
+  ssky.tree().CheckInvariants(true);
+}
+
+TEST(SkyTree, DuplicatePositionsAndProbabilityExtremes) {
+  // Ties in every coordinate plus certain (p = 1) and near-zero elements.
+  SskyOperator ssky(2, 0.4);
+  NaiveSkylineOperator naive(2, 0.4);
+  StreamProcessor sp(&ssky, 6), np(&naive, 6);
+  std::vector<UncertainElement> stream = {
+      MakeElement({0.5, 0.5}, 1.0, 0),
+      MakeElement({0.5, 0.5}, 0.5, 1),   // duplicate position
+      MakeElement({0.5, 0.5}, 1e-15, 2),  // clamped up to min prob
+      MakeElement({0.2, 0.8}, 1.0, 3),
+      MakeElement({0.1, 0.1}, 1.0, 4),   // dominates everything
+      MakeElement({0.5, 0.5}, 0.9, 5),
+      MakeElement({0.05, 0.05}, 0.5, 6),
+      MakeElement({0.6, 0.6}, 0.7, 7),
+      MakeElement({0.1, 0.1}, 0.3, 8),
+      MakeElement({0.9, 0.9}, 0.99, 9),
+      MakeElement({0.01, 0.99}, 0.6, 10),
+      MakeElement({0.99, 0.01}, 0.6, 11),
+  };
+  for (const auto& e : stream) {
+    sp.Step(e);
+    np.Step(e);
+    ASSERT_NO_FATAL_FAILURE(ExpectOperatorsAgree(naive, ssky));
+    ssky.tree().CheckInvariants(true);
+  }
+}
+
+TEST(SkyTree, LongChurnDeepInvariants) {
+  // Longer run with a small window: many expiries, evictions, splits and
+  // condensations; deep invariants checked sparsely.
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.spatial = SpatialDistribution::kAntiCorrelated;
+  cfg.seed = 99;
+  StreamGenerator gen(cfg);
+  SkyTree::Options small_nodes;
+  small_nodes.max_entries = 4;
+  small_nodes.min_entries = 2;
+  SskyOperator ssky(3, 0.3, small_nodes);
+  NaiveSkylineOperator naive(3, 0.3);
+  StreamProcessor sp(&ssky, 64), np(&naive, 64);
+  size_t step = 0;
+  for (const UncertainElement& e : gen.Take(2000)) {
+    sp.Step(e);
+    np.Step(e);
+    if (step % 101 == 0) {
+      ASSERT_NO_FATAL_FAILURE(ExpectOperatorsAgree(naive, ssky));
+      ssky.tree().CheckInvariants(true);
+    }
+    ++step;
+  }
+  ASSERT_NO_FATAL_FAILURE(ExpectOperatorsAgree(naive, ssky));
+}
+
+TEST(SkyTree, EvictionsAreCountedAndPruningReducesWork) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.spatial = SpatialDistribution::kAntiCorrelated;
+  cfg.seed = 123;
+  auto run = [&cfg](bool lazy, bool pruning) {
+    SkyTree::Options opt;
+    opt.use_lazy = lazy;
+    opt.use_minmax_pruning = pruning;
+    SskyOperator op(3, 0.3, opt);
+    StreamProcessor proc(&op, 500);
+    StreamGenerator gen(cfg);
+    for (const auto& e : gen.Take(2000)) proc.Step(e);
+    return op.stats();
+  };
+  const OperatorStats fast = run(true, true);
+  const OperatorStats eager = run(false, true);
+  const OperatorStats unpruned = run(true, false);
+  // Same semantics, hence identical eviction counts...
+  EXPECT_EQ(fast.evictions, eager.evictions);
+  EXPECT_EQ(fast.evictions, unpruned.evictions);
+  // ...but min/max pruning must cut the work substantially (the paper's
+  // wholesale keep/evict decisions), and laziness must never add work.
+  EXPECT_LT(2 * fast.elements_touched, unpruned.elements_touched);
+  EXPECT_LT(fast.nodes_visited, unpruned.nodes_visited);
+  EXPECT_LE(fast.elements_touched, eager.elements_touched);
+}
+
+}  // namespace
+}  // namespace psky

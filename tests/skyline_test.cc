@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "geom/dominance.h"
+#include "rtree/rtree.h"
+#include "skyline/bbs.h"
+#include "skyline/bnl.h"
+#include "skyline/dc.h"
+#include "skyline/sfs.h"
+#include "stream/generator.h"
+
+namespace psky {
+namespace {
+
+// Quadratic reference skyline.
+std::vector<size_t> BruteSkyline(const std::vector<Point>& pts) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (j != i && Dominates(pts[j], pts[i])) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(CertainSkyline, EmptyAndSingleton) {
+  EXPECT_TRUE(BnlSkyline({}).empty());
+  EXPECT_TRUE(SfsSkyline({}).empty());
+  EXPECT_TRUE(DcSkyline({}).empty());
+  std::vector<Point> one = {Point({1.0, 2.0})};
+  EXPECT_EQ(BnlSkyline(one), std::vector<size_t>{0});
+  EXPECT_EQ(SfsSkyline(one), std::vector<size_t>{0});
+  EXPECT_EQ(DcSkyline(one), std::vector<size_t>{0});
+}
+
+TEST(CertainSkyline, DcHandlesHeavyDimensionTies) {
+  // Many identical dim-0 values stress the divide step's tie handling.
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Point({1.0, 300.0 - i}));
+  }
+  pts.push_back(Point({0.5, 500.0}));
+  EXPECT_EQ(DcSkyline(pts), BnlSkyline(pts));
+}
+
+TEST(CertainSkyline, HandExample) {
+  std::vector<Point> pts = {
+      Point({1.0, 5.0}),  // skyline
+      Point({2.0, 4.0}),  // skyline
+      Point({3.0, 4.5}),  // dominated by (2,4)
+      Point({0.5, 9.0}),  // skyline
+      Point({2.0, 4.0}),  // duplicate of index 1: also skyline
+  };
+  const std::vector<size_t> expected = {0, 1, 3, 4};
+  EXPECT_EQ(BnlSkyline(pts), expected);
+  EXPECT_EQ(SfsSkyline(pts), expected);
+}
+
+TEST(CertainSkyline, AllOnAntiDiagonalAreSkyline) {
+  std::vector<Point> pts;
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back(Point({i / 10.0, 1.0 - i / 10.0}));
+  }
+  EXPECT_EQ(BnlSkyline(pts).size(), pts.size());
+  EXPECT_EQ(SfsSkyline(pts).size(), pts.size());
+}
+
+TEST(CertainSkyline, ChainHasSingleSkylinePoint) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Point({1.0 + i, 1.0 + i, 1.0 + i}));
+  }
+  EXPECT_EQ(BnlSkyline(pts), std::vector<size_t>{0});
+  EXPECT_EQ(SfsSkyline(pts), std::vector<size_t>{0});
+}
+
+class CertainSkylineParam
+    : public ::testing::TestWithParam<std::tuple<int, SpatialDistribution>> {
+};
+
+TEST_P(CertainSkylineParam, AllAlgorithmsAgreeOnRandomData) {
+  const auto [dims, dist] = GetParam();
+  StreamConfig cfg;
+  cfg.dims = dims;
+  cfg.spatial = dist;
+  cfg.seed = 1234 + dims;
+  StreamGenerator gen(cfg);
+
+  std::vector<Point> pts;
+  RTree tree(dims);
+  for (uint64_t i = 0; i < 800; ++i) {
+    const Point p = gen.Next().pos;
+    pts.push_back(p);
+    tree.Insert(p, i);
+  }
+
+  const std::vector<size_t> brute = BruteSkyline(pts);
+  EXPECT_EQ(BnlSkyline(pts), brute);
+  EXPECT_EQ(SfsSkyline(pts), brute);
+  EXPECT_EQ(DcSkyline(pts), brute);
+
+  std::set<uint64_t> bbs_ids;
+  for (const RTree::Item& item : BbsSkyline(tree)) bbs_ids.insert(item.id);
+  const std::set<uint64_t> brute_ids(brute.begin(), brute.end());
+  EXPECT_EQ(bbs_ids, brute_ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndDistributions, CertainSkylineParam,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(SpatialDistribution::kIndependent,
+                                         SpatialDistribution::kCorrelated,
+                                         SpatialDistribution::kAntiCorrelated)));
+
+TEST(Bbs, ProgressiveOrderIsByMinDist) {
+  Rng rng(5);
+  RTree tree(2);
+  for (uint64_t i = 0; i < 300; ++i) {
+    Point p(2);
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble();
+    tree.Insert(p, i);
+  }
+  const auto sky = BbsSkyline(tree);
+  for (size_t i = 1; i < sky.size(); ++i) {
+    const double prev = sky[i - 1].pos[0] + sky[i - 1].pos[1];
+    const double cur = sky[i].pos[0] + sky[i].pos[1];
+    EXPECT_LE(prev, cur + 1e-12);
+  }
+}
+
+TEST(Bbs, EmptyTree) {
+  RTree tree(3);
+  EXPECT_TRUE(BbsSkyline(tree).empty());
+}
+
+}  // namespace
+}  // namespace psky

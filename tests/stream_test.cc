@@ -1,0 +1,254 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/stats.h"
+#include "stream/generator.h"
+#include "stream/prob_model.h"
+#include "stream/stock.h"
+#include "stream/window.h"
+
+namespace psky {
+namespace {
+
+TEST(ProbModel, UniformInHalfOpenUnitInterval) {
+  ProbModelConfig cfg;
+  cfg.distribution = ProbDistribution::kUniform;
+  ProbModel model(cfg);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double p = model.Sample(rng);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    stats.Add(p);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(ProbModel, NormalTruncatedMeanTracksPmu) {
+  double prev_mean = -1.0;
+  for (double pmu : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    ProbModelConfig cfg;
+    cfg.distribution = ProbDistribution::kNormal;
+    cfg.mean = pmu;
+    cfg.stddev = 0.3;
+    ProbModel model(cfg);
+    Rng rng(2);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+      const double p = model.Sample(rng);
+      ASSERT_GT(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      stats.Add(p);
+    }
+    // Truncation to (0,1] pulls extreme means toward 0.5 (by about
+    // sigma * phi/Phi ~ 0.18 at pmu = 0.1); the realized means must still
+    // track pmu and be strictly increasing in it.
+    EXPECT_NEAR(stats.mean(), pmu, 0.25);
+    EXPECT_GT(stats.mean(), prev_mean);
+    prev_mean = stats.mean();
+  }
+}
+
+TEST(StreamGenerator, DeterministicPerSeed) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 77;
+  StreamGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const UncertainElement ea = a.Next();
+    const UncertainElement eb = b.Next();
+    ASSERT_EQ(ea.pos, eb.pos);
+    ASSERT_EQ(ea.prob, eb.prob);
+    ASSERT_EQ(ea.seq, eb.seq);
+    ASSERT_EQ(ea.time, eb.time);
+  }
+}
+
+TEST(StreamGenerator, SeqAndTimeMonotone) {
+  StreamConfig cfg;
+  StreamGenerator gen(cfg);
+  uint64_t prev_seq = 0;
+  double prev_time = -1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const UncertainElement e = gen.Next();
+    ASSERT_EQ(e.seq, prev_seq) << "seq must be consecutive from zero";
+    ++prev_seq;
+    ASSERT_GT(e.time, prev_time);
+    prev_time = e.time;
+  }
+}
+
+TEST(StreamGenerator, CoordinatesInUnitCube) {
+  for (auto dist : {SpatialDistribution::kIndependent,
+                    SpatialDistribution::kCorrelated,
+                    SpatialDistribution::kAntiCorrelated}) {
+    StreamConfig cfg;
+    cfg.dims = 4;
+    cfg.spatial = dist;
+    StreamGenerator gen(cfg);
+    for (int i = 0; i < 2000; ++i) {
+      const UncertainElement e = gen.Next();
+      for (int j = 0; j < 4; ++j) {
+        ASSERT_GE(e.pos[j], 0.0);
+        ASSERT_LE(e.pos[j], 1.0);
+      }
+    }
+  }
+}
+
+// Pairwise Pearson correlation between the first two dimensions.
+double DimCorrelation(SpatialDistribution dist, int n) {
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.spatial = dist;
+  cfg.seed = 5;
+  StreamGenerator gen(cfg);
+  RunningStats x, y;
+  std::vector<UncertainElement> elems = gen.Take(static_cast<size_t>(n));
+  for (const auto& e : elems) {
+    x.Add(e.pos[0]);
+    y.Add(e.pos[1]);
+  }
+  double cov = 0.0;
+  for (const auto& e : elems) {
+    cov += (e.pos[0] - x.mean()) * (e.pos[1] - y.mean());
+  }
+  cov /= n - 1;
+  return cov / (x.stddev() * y.stddev());
+}
+
+TEST(StreamGenerator, CorrelationSignsMatchDistributions) {
+  EXPECT_NEAR(DimCorrelation(SpatialDistribution::kIndependent, 20000), 0.0,
+              0.05);
+  EXPECT_GT(DimCorrelation(SpatialDistribution::kCorrelated, 20000), 0.7);
+  EXPECT_LT(DimCorrelation(SpatialDistribution::kAntiCorrelated, 20000),
+            -0.5);
+}
+
+TEST(StreamGenerator, DistributionNames) {
+  EXPECT_STREQ(SpatialDistributionName(SpatialDistribution::kIndependent),
+               "inde");
+  EXPECT_STREQ(SpatialDistributionName(SpatialDistribution::kCorrelated),
+               "corr");
+  EXPECT_STREQ(SpatialDistributionName(SpatialDistribution::kAntiCorrelated),
+               "anti");
+}
+
+TEST(StockStream, ShapeAndDeterminism) {
+  StockConfig cfg;
+  cfg.seed = 3;
+  StockStreamGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const UncertainElement ea = a.Next();
+    const UncertainElement eb = b.Next();
+    ASSERT_EQ(ea.pos, eb.pos);
+    ASSERT_EQ(ea.prob, eb.prob);
+    ASSERT_EQ(ea.pos.dims(), 2);
+    ASSERT_GT(ea.pos[0], 0.0) << "price positive";
+    ASSERT_LE(ea.pos[1], -1.0) << "negated volume <= -1 share";
+    ASSERT_GT(ea.prob, 0.0);
+    ASSERT_LE(ea.prob, 1.0);
+  }
+}
+
+TEST(StockStream, PriceStaysNearAnchorShortTerm) {
+  StockConfig cfg;
+  StockStreamGenerator gen(cfg);
+  RunningStats price;
+  for (int i = 0; i < 5000; ++i) price.Add(gen.Next().pos[0]);
+  // A few thousand trades should not move the price by an order of
+  // magnitude.
+  EXPECT_GT(price.min(), cfg.initial_price / 3.0);
+  EXPECT_LT(price.max(), cfg.initial_price * 3.0);
+}
+
+TEST(StockStream, VolumeHasHeavyTail) {
+  StockConfig cfg;
+  StockStreamGenerator gen(cfg);
+  RunningStats vol;
+  for (int i = 0; i < 50000; ++i) vol.Add(-gen.Next().pos[1]);
+  // Bursts make the max far exceed the median scale.
+  EXPECT_GT(vol.max(), 20.0 * cfg.median_volume);
+}
+
+TEST(CountWindow, ExpiresOldestInFifoOrder) {
+  CountWindow w(3);
+  UncertainElement e;
+  for (uint64_t i = 0; i < 3; ++i) {
+    e.seq = i;
+    EXPECT_FALSE(w.Push(e).has_value());
+  }
+  EXPECT_TRUE(w.full());
+  for (uint64_t i = 3; i < 10; ++i) {
+    e.seq = i;
+    auto expired = w.Push(e);
+    ASSERT_TRUE(expired.has_value());
+    EXPECT_EQ(expired->seq, i - 3);
+    EXPECT_EQ(w.size(), 3u);
+  }
+  EXPECT_EQ(w.oldest().seq, 7u);
+  EXPECT_EQ(w.newest().seq, 9u);
+}
+
+TEST(CountWindow, SnapshotOldestFirst) {
+  CountWindow w(2);
+  UncertainElement e;
+  e.seq = 1;
+  w.Push(e);
+  e.seq = 2;
+  w.Push(e);
+  auto snap = w.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].seq, 1u);
+  EXPECT_EQ(snap[1].seq, 2u);
+}
+
+TEST(TimeWindow, ExpiresByTimestamp) {
+  TimeWindow w(10.0);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  e.seq = 0;
+  e.time = 0.0;
+  w.Push(e, &expired);
+  e.seq = 1;
+  e.time = 5.0;
+  w.Push(e, &expired);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(w.size(), 2u);
+
+  e.seq = 2;
+  e.time = 10.5;  // cutoff 0.5: expires seq 0 (time 0.0)
+  w.Push(e, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].seq, 0u);
+
+  expired.clear();
+  e.seq = 3;
+  e.time = 100.0;  // everything except itself expires
+  w.Push(e, &expired);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].seq, 1u);
+  EXPECT_EQ(expired[1].seq, 2u);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimeWindow, BoundaryIsInclusiveExpiry) {
+  // An element exactly `span` old is expired (time <= cutoff).
+  TimeWindow w(10.0);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  e.seq = 0;
+  e.time = 0.0;
+  w.Push(e, &expired);
+  e.seq = 1;
+  e.time = 10.0;
+  w.Push(e, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].seq, 0u);
+}
+
+}  // namespace
+}  // namespace psky

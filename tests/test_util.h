@@ -1,0 +1,71 @@
+// Shared helpers for the test suite.
+
+#ifndef PSKY_TESTS_TEST_UTIL_H_
+#define PSKY_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/operator.h"
+#include "stream/element.h"
+
+namespace psky {
+
+/// Builds an element with explicit coordinates, probability and arrival
+/// sequence number.
+inline UncertainElement MakeElement(std::initializer_list<double> coords,
+                                    double prob, uint64_t seq,
+                                    double time = 0.0) {
+  UncertainElement e;
+  e.pos = Point(coords);
+  e.prob = prob;
+  e.seq = seq;
+  e.time = time;
+  return e;
+}
+
+/// Sequence numbers of the given members.
+inline std::vector<uint64_t> SeqsOf(const std::vector<SkylineMember>& ms) {
+  std::vector<uint64_t> out;
+  out.reserve(ms.size());
+  for (const SkylineMember& m : ms) out.push_back(m.element.seq);
+  return out;
+}
+
+/// Asserts that two operators hold identical candidate sets with matching
+/// probabilities and identical skyline membership. Near-threshold values
+/// (|P - q| < boundary_tol) are allowed to differ in membership, since the
+/// two implementations accumulate rounding differently.
+inline void ExpectOperatorsAgree(const WindowSkylineOperator& expected,
+                                 const WindowSkylineOperator& actual,
+                                 double value_tol = 1e-7,
+                                 double boundary_tol = 1e-9) {
+  const std::vector<SkylineMember> want = expected.Candidates();
+  const std::vector<SkylineMember> got = actual.Candidates();
+  ASSERT_EQ(SeqsOf(want), SeqsOf(got)) << "candidate sets differ";
+  const double q = expected.threshold();
+  for (size_t i = 0; i < want.size(); ++i) {
+    const SkylineMember& w = want[i];
+    const SkylineMember& g = got[i];
+    EXPECT_NEAR(w.pnew, g.pnew, value_tol * (1.0 + w.pnew))
+        << "seq " << w.element.seq;
+    EXPECT_NEAR(w.pold, g.pold, value_tol * (1.0 + w.pold))
+        << "seq " << w.element.seq;
+    EXPECT_NEAR(w.psky, g.psky, value_tol * (1.0 + w.psky))
+        << "seq " << w.element.seq;
+    if (w.in_skyline != g.in_skyline) {
+      EXPECT_LT(std::abs(w.psky - q), boundary_tol)
+          << "skyline membership differs away from the boundary, seq "
+          << w.element.seq << " psky " << w.psky;
+    }
+  }
+  EXPECT_EQ(expected.candidate_count(), actual.candidate_count());
+}
+
+}  // namespace psky
+
+#endif  // PSKY_TESTS_TEST_UTIL_H_

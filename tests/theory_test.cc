@@ -1,0 +1,180 @@
+// Section III-B: harmonic numbers, the Theorem 7 dominance-count bound,
+// and the Corollary 3 / Theorem 8 expected-size bounds, checked both
+// analytically and against empirical measurements.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "base/stats.h"
+#include "core/naive_operator.h"
+#include "core/theory.h"
+#include "geom/dominance.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+
+namespace psky {
+namespace {
+
+TEST(Harmonic, FirstOrderKnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1, 2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(1, 4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(Harmonic, SecondOrderByDefinition) {
+  // H_{2,l} = sum_{i<=l} H_{1,i}/i.
+  double expect = 0.0;
+  for (int64_t i = 1; i <= 10; ++i) {
+    expect += HarmonicNumber(1, i) / static_cast<double>(i);
+  }
+  EXPECT_NEAR(HarmonicNumber(2, 10), expect, 1e-12);
+}
+
+TEST(Harmonic, GrowsLikeLogPower) {
+  // H_{d,N} = O(ln^d N): the ratio H_{d,N} / ln^d N stays bounded.
+  for (int d : {1, 2, 3}) {
+    const double h = HarmonicNumber(d, 1 << 16);
+    const double lnn = std::log(static_cast<double>(1 << 16));
+    EXPECT_GT(h, std::pow(lnn, d) / 50.0);
+    EXPECT_LT(h, 3.0 * std::pow(lnn, d));
+  }
+}
+
+TEST(Harmonic, MonotoneInBothArguments) {
+  for (int d = 1; d <= 4; ++d) {
+    EXPECT_LT(HarmonicNumber(d, 100), HarmonicNumber(d, 200));
+  }
+  for (int64_t l : {10, 100, 1000}) {
+    EXPECT_LT(HarmonicNumber(1, l), HarmonicNumber(2, l));
+    EXPECT_LT(HarmonicNumber(2, l), HarmonicNumber(3, l));
+  }
+}
+
+TEST(DominanceBound, OneDimensionalExact) {
+  EXPECT_DOUBLE_EQ(DominanceCountBound(1, 100, 0), 0.01);
+  EXPECT_DOUBLE_EQ(DominanceCountBound(1, 100, 9), 0.10);
+  EXPECT_DOUBLE_EQ(DominanceCountBound(1, 100, 99), 1.0);
+}
+
+TEST(DominanceBound, CappedAtOne) {
+  EXPECT_LE(DominanceCountBound(3, 10, 9), 1.0);
+  EXPECT_LE(DominanceCountBound(2, 100, 80), 1.0);
+}
+
+// Empirical check of Theorem 7: P(DOMT_i^k) <= bound for uniform i.i.d.
+// data.
+TEST(DominanceBound, HoldsEmpirically) {
+  Rng rng(2025);
+  const int d = 2;
+  const int n = 200;
+  const int trials = 300;
+  for (int64_t k : {0, 2, 8}) {
+    int satisfied = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<Point> pts;
+      for (int i = 0; i < n; ++i) {
+        Point p(d);
+        for (int j = 0; j < d; ++j) p[j] = rng.NextDouble();
+        pts.push_back(p);
+      }
+      // Count dominators of point 0.
+      int dom = 0;
+      for (int i = 1; i < n; ++i) {
+        if (Dominates(pts[static_cast<size_t>(i)], pts[0])) ++dom;
+      }
+      if (dom <= k) ++satisfied;
+    }
+    const double empirical = static_cast<double>(satisfied) / trials;
+    const double bound = DominanceCountBound(d, n, k);
+    // Allow 3-sigma statistical slack on the empirical side.
+    const double sigma = std::sqrt(empirical * (1 - empirical) / trials);
+    EXPECT_LE(empirical - 3 * sigma, bound)
+        << "k = " << k << " empirical " << empirical << " bound " << bound;
+  }
+}
+
+TEST(ExpectedSizeBounds, ZeroWhenThresholdAboveProbability) {
+  EXPECT_DOUBLE_EQ(ExpectedSkylineSizeBound(3, 1000, 0.2, 0.5), 0.0);
+}
+
+TEST(ExpectedSizeBounds, MonotoneInThreshold) {
+  double prev = 1e18;
+  for (double q : {0.1, 0.3, 0.5, 0.7}) {
+    const double b = ExpectedSkylineSizeBound(3, 10000, 0.8, q);
+    EXPECT_LE(b, prev + 1e-9);
+    prev = b;
+  }
+}
+
+TEST(ExpectedSizeBounds, PolylogarithmicGrowth) {
+  // Doubling N repeatedly must grow the bound far slower than linearly.
+  const double b1 = ExpectedSkylineSizeBound(3, 1 << 12, 0.5, 0.3);
+  const double b2 = ExpectedSkylineSizeBound(3, 1 << 16, 0.5, 0.3);
+  EXPECT_LT(b2 / b1, 16.0);  // N grew 16x
+}
+
+TEST(ExpectedSizeBounds, CandidateBoundAtLeastSkylineBound) {
+  for (double q : {0.2, 0.4}) {
+    const double sky = ExpectedSkylineSizeBound(3, 5000, 0.5, q);
+    const double cand = ExpectedCandidateSizeBound(3, 5000, 0.5, q);
+    EXPECT_GE(cand, sky);
+  }
+}
+
+// Empirical check of the paper's Theorem 6 / Theorem 8 quantities: the
+// bound of Corollary 3 is on the *weighted* expected sizes — each
+// q-skyline element counts with weight P_sky (the probability it actually
+// appears undominated in the realized world), and each candidate with
+// weight P_new. The measured weighted sums must stay below the bounds.
+TEST(ExpectedSizeBounds, HoldEmpirically) {
+  const int d = 2;
+  const size_t n = 400;
+  const double p = 0.5;
+  const double q = 0.3;
+
+  StreamConfig cfg;
+  cfg.dims = d;
+  cfg.spatial = SpatialDistribution::kIndependent;
+  cfg.seed = 7;
+  StreamGenerator gen(cfg);
+
+  RunningStats sky_stats, cand_stats;
+  const int windows = 30;
+  for (int t = 0; t < windows; ++t) {
+    NaiveSkylineOperator op(d, q);
+    for (UncertainElement e : gen.Take(n)) {
+      e.prob = p;  // constant probability as in the analysis
+      op.Insert(e);
+    }
+    double sky_sum = 0.0, cand_sum = 0.0;
+    for (const SkylineMember& m : op.Candidates()) {
+      // NOTE: for the q-skyline, P_new computed over S_{N,q} equals the
+      // true value (Theorem 2) and P_sky of skyline members is exact
+      // (Corollary 1), so restricted values are valid here.
+      cand_sum += m.pnew;
+      if (m.in_skyline) sky_sum += m.psky;
+    }
+    sky_stats.Add(sky_sum);
+    cand_stats.Add(cand_sum);
+  }
+  // The d = 2 skyline bound is tight (Theorem 7 holds with equality), so
+  // compare with three standard errors of statistical slack.
+  const double sky_se = sky_stats.stddev() / std::sqrt(windows);
+  const double cand_se = cand_stats.stddev() / std::sqrt(windows);
+  EXPECT_LE(sky_stats.mean(),
+            ExpectedSkylineSizeBound(d, static_cast<int64_t>(n), p, q) +
+                3.0 * sky_se);
+  EXPECT_LE(cand_stats.mean(),
+            ExpectedCandidateSizeBound(d, static_cast<int64_t>(n), p, q) +
+                3.0 * cand_se);
+  // The bounds should not be vacuous either (within ~100x of reality).
+  EXPECT_LT(ExpectedSkylineSizeBound(d, static_cast<int64_t>(n), p, q),
+            100.0 * (sky_stats.mean() + 1.0));
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,222 @@
+// psky_stream: command-line continuous probabilistic skyline over CSV
+// streams (or built-in generators).
+//
+// Usage:
+//   psky_stream --dims 3 --q 0.3 --window 100000 [--input FILE]
+//               [--emit counts|deltas|final] [--every K] [--topk K]
+//   psky_stream --generate anti|inde|corr|stock --count 100000 ...
+//
+// Input lines: v1,...,vd,prob[,timestamp]  ('#' comments allowed).
+// With --time-span T the window is time-based (timestamps required).
+//
+// Output (stdout), one line per report:
+//   counts:  step=<n> candidates=<c> skyline=<s>
+//   deltas:  +<seq> / -<seq> skyline membership changes as they happen
+//   final:   the full skyline once, at end of stream
+// Exit codes: 0 ok, 1 bad usage, 2 malformed input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/ssky_operator.h"
+#include "core/topk_operator.h"
+#include "stream/csv.h"
+#include "stream/generator.h"
+#include "stream/stock.h"
+#include "stream/window.h"
+
+namespace {
+
+struct Args {
+  int dims = 2;
+  double q = 0.3;
+  size_t window = 100000;
+  double time_span = 0.0;  // > 0: time-based window
+  std::string input;       // empty: stdin
+  std::string generate;    // empty: read csv
+  size_t count = 100000;   // generated elements
+  uint64_t seed = 42;
+  std::string emit = "counts";
+  size_t every = 10000;
+  size_t topk = 0;
+};
+
+[[noreturn]] void Usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: psky_stream --dims D --q Q (--window N | "
+               "--time-span T)\n"
+               "                   [--input FILE | --generate "
+               "anti|inde|corr|stock --count N]\n"
+               "                   [--emit counts|deltas|final] [--every K] "
+               "[--topk K] [--seed S]\n");
+  std::exit(1);
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  auto need = [&](int i) {
+    if (i + 1 >= argc) Usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--dims") {
+      args.dims = std::atoi(need(i++));
+    } else if (flag == "--q") {
+      args.q = std::atof(need(i++));
+    } else if (flag == "--window") {
+      args.window = static_cast<size_t>(std::atoll(need(i++)));
+    } else if (flag == "--time-span") {
+      args.time_span = std::atof(need(i++));
+    } else if (flag == "--input") {
+      args.input = need(i++);
+    } else if (flag == "--generate") {
+      args.generate = need(i++);
+    } else if (flag == "--count") {
+      args.count = static_cast<size_t>(std::atoll(need(i++)));
+    } else if (flag == "--seed") {
+      args.seed = static_cast<uint64_t>(std::atoll(need(i++)));
+    } else if (flag == "--emit") {
+      args.emit = need(i++);
+    } else if (flag == "--every") {
+      args.every = static_cast<size_t>(std::atoll(need(i++)));
+    } else if (flag == "--topk") {
+      args.topk = static_cast<size_t>(std::atoll(need(i++)));
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(nullptr);
+    } else {
+      Usage(("unknown flag: " + flag).c_str());
+    }
+  }
+  if (args.dims < 1 || args.dims > psky::kMaxDims) Usage("bad --dims");
+  if (args.q <= 1e-9 || args.q > 1.0) Usage("--q must be in (0, 1]");
+  if (args.emit != "counts" && args.emit != "deltas" && args.emit != "final") {
+    Usage("--emit must be counts, deltas or final");
+  }
+  return args;
+}
+
+// Pulls elements from either a CSV reader or a built-in generator.
+class Source {
+ public:
+  explicit Source(const Args& args) : args_(args) {
+    if (!args.generate.empty()) {
+      if (args.generate == "stock") {
+        psky::StockConfig cfg;
+        cfg.seed = args.seed;
+        stock_ = std::make_unique<psky::StockStreamGenerator>(cfg);
+        if (args_.dims != 2) Usage("--generate stock implies --dims 2");
+      } else {
+        psky::StreamConfig cfg;
+        cfg.dims = args.dims;
+        cfg.seed = args.seed;
+        if (args.generate == "anti") {
+          cfg.spatial = psky::SpatialDistribution::kAntiCorrelated;
+        } else if (args.generate == "inde") {
+          cfg.spatial = psky::SpatialDistribution::kIndependent;
+        } else if (args.generate == "corr") {
+          cfg.spatial = psky::SpatialDistribution::kCorrelated;
+        } else {
+          Usage("--generate must be anti, inde, corr or stock");
+        }
+        synthetic_ = std::make_unique<psky::StreamGenerator>(cfg);
+      }
+      return;
+    }
+    if (!args.input.empty()) {
+      file_.open(args.input);
+      if (!file_) {
+        std::fprintf(stderr, "error: cannot open %s\n", args.input.c_str());
+        std::exit(1);
+      }
+      csv_ = std::make_unique<psky::CsvElementReader>(&file_, args.dims);
+    } else {
+      csv_ = std::make_unique<psky::CsvElementReader>(&std::cin, args.dims);
+    }
+  }
+
+  std::optional<psky::UncertainElement> Next() {
+    if (csv_ != nullptr) return csv_->Next();
+    if (produced_ >= args_.count) return std::nullopt;
+    ++produced_;
+    return stock_ != nullptr ? stock_->Next() : synthetic_->Next();
+  }
+
+ private:
+  const Args& args_;
+  std::ifstream file_;
+  std::unique_ptr<psky::CsvElementReader> csv_;
+  std::unique_ptr<psky::StreamGenerator> synthetic_;
+  std::unique_ptr<psky::StockStreamGenerator> stock_;
+  size_t produced_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  psky::SkyTree::Options options;
+  options.record_events = args.emit == "deltas";
+  psky::SskyOperator op(args.dims, args.q, options);
+
+  std::unique_ptr<psky::CountWindow> count_window;
+  std::unique_ptr<psky::TimeWindow> time_window;
+  if (args.time_span > 0.0) {
+    time_window = std::make_unique<psky::TimeWindow>(args.time_span);
+  } else {
+    count_window = std::make_unique<psky::CountWindow>(args.window);
+  }
+
+  Source source(args);
+  std::vector<psky::UncertainElement> expired;
+  size_t step = 0;
+  while (auto element = source.Next()) {
+    if (time_window != nullptr) {
+      expired.clear();
+      time_window->Push(*element, &expired);
+      for (const auto& old : expired) op.Expire(old);
+    } else if (auto old = count_window->Push(*element)) {
+      op.Expire(*old);
+    }
+    op.Insert(*element);
+    ++step;
+
+    if (args.emit == "deltas") {
+      const auto delta = op.TakeSkylineDelta();
+      for (uint64_t seq : delta.left) {
+        std::printf("-%llu\n", static_cast<unsigned long long>(seq));
+      }
+      for (uint64_t seq : delta.entered) {
+        std::printf("+%llu\n", static_cast<unsigned long long>(seq));
+      }
+    } else if (args.emit == "counts" && step % args.every == 0) {
+      std::printf("step=%zu candidates=%zu skyline=%zu\n", step,
+                  op.candidate_count(), op.skyline_count());
+    }
+  }
+
+  if (args.emit == "final" || args.topk > 0) {
+    const auto members =
+        args.topk > 0 ? op.tree().TopK(args.topk) : op.Skyline();
+    for (const auto& m : members) {
+      if (args.topk > 0 && m.psky < args.q) break;
+      std::printf("seq=%llu psky=%.6f pos=",
+                  static_cast<unsigned long long>(m.element.seq), m.psky);
+      for (int i = 0; i < args.dims; ++i) {
+        std::printf(i == 0 ? "%g" : ",%g", m.element.pos[i]);
+      }
+      std::printf(" prob=%g\n", m.element.prob);
+    }
+  }
+  std::fprintf(stderr, "processed %zu elements; |S|=%zu |SKY|=%zu\n", step,
+               op.candidate_count(), op.skyline_count());
+  return 0;
+}
