@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_time_pmu.dir/bench_fig10_time_pmu.cc.o"
+  "CMakeFiles/bench_fig10_time_pmu.dir/bench_fig10_time_pmu.cc.o.d"
+  "bench_fig10_time_pmu"
+  "bench_fig10_time_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_msky_qsky.dir/bench_fig12_msky_qsky.cc.o"
+  "CMakeFiles/bench_fig12_msky_qsky.dir/bench_fig12_msky_qsky.cc.o.d"
+  "bench_fig12_msky_qsky"
+  "bench_fig12_msky_qsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_msky_qsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

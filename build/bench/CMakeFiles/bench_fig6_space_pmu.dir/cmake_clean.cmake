@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_space_pmu.dir/bench_fig6_space_pmu.cc.o"
+  "CMakeFiles/bench_fig6_space_pmu.dir/bench_fig6_space_pmu.cc.o.d"
+  "bench_fig6_space_pmu"
+  "bench_fig6_space_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_space_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

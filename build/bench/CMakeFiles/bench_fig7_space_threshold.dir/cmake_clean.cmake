@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_space_threshold.dir/bench_fig7_space_threshold.cc.o"
+  "CMakeFiles/bench_fig7_space_threshold.dir/bench_fig7_space_threshold.cc.o.d"
+  "bench_fig7_space_threshold"
+  "bench_fig7_space_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_space_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_time_dims.dir/bench_fig8_time_dims.cc.o"
+  "CMakeFiles/bench_fig8_time_dims.dir/bench_fig8_time_dims.cc.o.d"
+  "bench_fig8_time_dims"
+  "bench_fig8_time_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_time_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

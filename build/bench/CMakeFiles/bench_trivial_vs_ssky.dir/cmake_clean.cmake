@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trivial_vs_ssky.dir/bench_trivial_vs_ssky.cc.o"
+  "CMakeFiles/bench_trivial_vs_ssky.dir/bench_trivial_vs_ssky.cc.o.d"
+  "bench_trivial_vs_ssky"
+  "bench_trivial_vs_ssky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trivial_vs_ssky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

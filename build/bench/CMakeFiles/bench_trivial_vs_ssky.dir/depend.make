@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_trivial_vs_ssky.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_shopping.dir/online_shopping.cpp.o"
+  "CMakeFiles/online_shopping.dir/online_shopping.cpp.o.d"
+  "online_shopping"
+  "online_shopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_objects.dir/sensor_objects.cpp.o"
+  "CMakeFiles/sensor_objects.dir/sensor_objects.cpp.o.d"
+  "sensor_objects"
+  "sensor_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

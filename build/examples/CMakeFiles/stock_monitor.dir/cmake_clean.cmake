@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_monitor.dir/stock_monitor.cpp.o"
+  "CMakeFiles/stock_monitor.dir/stock_monitor.cpp.o.d"
+  "stock_monitor"
+  "stock_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/pskyline.dir/base/random.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/base/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/pskyline.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/base/stats.cc.o.d"
+  "/root/repo/src/core/msky_operator.cc" "src/CMakeFiles/pskyline.dir/core/msky_operator.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/msky_operator.cc.o.d"
+  "/root/repo/src/core/naive_operator.cc" "src/CMakeFiles/pskyline.dir/core/naive_operator.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/naive_operator.cc.o.d"
+  "/root/repo/src/core/object_skyline.cc" "src/CMakeFiles/pskyline.dir/core/object_skyline.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/object_skyline.cc.o.d"
+  "/root/repo/src/core/possible_worlds.cc" "src/CMakeFiles/pskyline.dir/core/possible_worlds.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/possible_worlds.cc.o.d"
+  "/root/repo/src/core/sky_tree.cc" "src/CMakeFiles/pskyline.dir/core/sky_tree.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/sky_tree.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/pskyline.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/ssky_operator.cc" "src/CMakeFiles/pskyline.dir/core/ssky_operator.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/ssky_operator.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/CMakeFiles/pskyline.dir/core/theory.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/theory.cc.o.d"
+  "/root/repo/src/core/topk_operator.cc" "src/CMakeFiles/pskyline.dir/core/topk_operator.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/core/topk_operator.cc.o.d"
+  "/root/repo/src/geom/dominance.cc" "src/CMakeFiles/pskyline.dir/geom/dominance.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/geom/dominance.cc.o.d"
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/pskyline.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/pskyline.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/skyline/bbs.cc" "src/CMakeFiles/pskyline.dir/skyline/bbs.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/skyline/bbs.cc.o.d"
+  "/root/repo/src/skyline/bnl.cc" "src/CMakeFiles/pskyline.dir/skyline/bnl.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/skyline/bnl.cc.o.d"
+  "/root/repo/src/skyline/dc.cc" "src/CMakeFiles/pskyline.dir/skyline/dc.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/skyline/dc.cc.o.d"
+  "/root/repo/src/skyline/sfs.cc" "src/CMakeFiles/pskyline.dir/skyline/sfs.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/skyline/sfs.cc.o.d"
+  "/root/repo/src/stream/csv.cc" "src/CMakeFiles/pskyline.dir/stream/csv.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/stream/csv.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/CMakeFiles/pskyline.dir/stream/generator.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/stream/generator.cc.o.d"
+  "/root/repo/src/stream/prob_model.cc" "src/CMakeFiles/pskyline.dir/stream/prob_model.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/stream/prob_model.cc.o.d"
+  "/root/repo/src/stream/stock.cc" "src/CMakeFiles/pskyline.dir/stream/stock.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/stream/stock.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/CMakeFiles/pskyline.dir/stream/window.cc.o" "gcc" "src/CMakeFiles/pskyline.dir/stream/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msky_topk_test.dir/msky_topk_test.cc.o"
+  "CMakeFiles/msky_topk_test.dir/msky_topk_test.cc.o.d"
+  "msky_topk_test"
+  "msky_topk_test.pdb"
+  "msky_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msky_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_operator_test.dir/naive_operator_test.cc.o"
+  "CMakeFiles/naive_operator_test.dir/naive_operator_test.cc.o.d"
+  "naive_operator_test"
+  "naive_operator_test.pdb"
+  "naive_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

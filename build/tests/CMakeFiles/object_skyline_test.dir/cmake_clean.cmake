@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_skyline_test.dir/object_skyline_test.cc.o"
+  "CMakeFiles/object_skyline_test.dir/object_skyline_test.cc.o.d"
+  "object_skyline_test"
+  "object_skyline_test.pdb"
+  "object_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

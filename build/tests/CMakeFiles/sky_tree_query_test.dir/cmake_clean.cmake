@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_tree_query_test.dir/sky_tree_query_test.cc.o"
+  "CMakeFiles/sky_tree_query_test.dir/sky_tree_query_test.cc.o.d"
+  "sky_tree_query_test"
+  "sky_tree_query_test.pdb"
+  "sky_tree_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_tree_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

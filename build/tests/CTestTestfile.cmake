@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/possible_worlds_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/sky_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/msky_topk_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_test[1]_include.cmake")
+include("/root/repo/build/tests/object_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sky_tree_query_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psky_stream.dir/psky_stream.cc.o"
+  "CMakeFiles/psky_stream.dir/psky_stream.cc.o.d"
+  "psky_stream"
+  "psky_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psky_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/psky_stream" "--generate" "anti" "--dims" "3" "--count" "5000" "--window" "1000" "--q" "0.3" "--emit" "counts" "--every" "2500")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv_final "sh" "-c" "printf '1,2,0.9\\n0.5,0.5,0.8\\n' |                         /root/repo/build/tools/psky_stream --dims 2 --q 0.3                         --window 10 --emit final | grep -q 'seq=1'")
+set_tests_properties(cli_csv_final PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_input "sh" "-c" "printf '1,x,0.9\\n' |                         /root/repo/build/tools/psky_stream --dims 2 --q 0.3                         --window 10; test \$? -eq 2")
+set_tests_properties(cli_rejects_bad_input PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
