@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used to detect
+// corruption in checkpoint files. Table-driven, one byte per step; no
+// external dependency so the library stays self-contained.
+
+#ifndef PSKY_BASE_CRC32_H_
+#define PSKY_BASE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace psky {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// CRC-32 of `len` bytes at `data`. Pass a previous result as `seed` to
+/// checksum data in chunks: Crc32(b, nb, Crc32(a, na)) == Crc32(a+b).
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_CRC32_H_

@@ -1,0 +1,332 @@
+#include "core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "base/crc32.h"
+#include "geom/point.h"
+
+namespace psky {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'K', 'Y', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 24;
+
+CheckpointCrashHook g_crash_hook = nullptr;
+
+// Dies at `point` (returns false) when a crash hook is installed and asks
+// for it; no hook means run to completion.
+bool SurvivesCrashPoint(CheckpointCrashPoint point) {
+  return g_crash_hook == nullptr || g_crash_hook(point);
+}
+
+// --- little-endian primitives -------------------------------------------
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  AppendU64(out, bits);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+void SetCheckpointCrashHook(CheckpointCrashHook hook) { g_crash_hook = hook; }
+
+std::string EncodeCheckpoint(const CheckpointState& state) {
+  std::string payload;
+  payload.reserve(128 + state.window.size() * (24 + 8 * state.dims));
+  AppendU32(&payload, static_cast<uint32_t>(state.dims));
+  AppendF64(&payload, state.q);
+  payload.push_back(static_cast<char>(state.window_kind));
+  AppendU64(&payload, state.window_capacity);
+  AppendF64(&payload, state.time_span);
+  AppendU64(&payload, state.elements_consumed);
+  AppendU64(&payload, state.lines_consumed);
+  AppendU64(&payload, state.next_seq);
+  AppendU64(&payload, state.bad_lines_skipped);
+  AppendU64(&payload, state.probs_clamped);
+  AppendU64(&payload, state.ooo_dropped);
+  AppendU64(&payload, state.window.size());
+  for (const UncertainElement& e : state.window) {
+    AppendU64(&payload, e.seq);
+    AppendF64(&payload, e.prob);
+    AppendF64(&payload, e.time);
+    for (int i = 0; i < state.dims; ++i) AppendF64(&payload, e.pos[i]);
+  }
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, Crc32(payload.data(), payload.size()));
+  AppendU64(&out, payload.size());
+  out += payload;
+  return out;
+}
+
+bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
+                      std::string* error) {
+  if (bytes.size() < kHeaderSize) {
+    return Fail(error, "checkpoint truncated: " + std::to_string(bytes.size()) +
+                           " bytes, header needs " +
+                           std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return Fail(error, "bad checkpoint magic (not a checkpoint file?)");
+  }
+  Cursor header(bytes.substr(sizeof kMagic));
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  header.ReadU32(&version);
+  header.ReadU32(&crc);
+  header.ReadU64(&payload_size);
+  if (version != kVersion) {
+    return Fail(error, "unsupported checkpoint version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() != payload_size) {
+    return Fail(error, "checkpoint payload size mismatch: header says " +
+                           std::to_string(payload_size) + ", file has " +
+                           std::to_string(payload.size()));
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Fail(error, "checkpoint CRC mismatch (corrupted payload)");
+  }
+
+  CheckpointState state;
+  Cursor c(payload);
+  uint32_t dims = 0;
+  uint8_t kind = 0;
+  uint64_t count = 0;
+  if (!c.ReadU32(&dims) || !c.ReadF64(&state.q) || !c.ReadU8(&kind) ||
+      !c.ReadU64(&state.window_capacity) || !c.ReadF64(&state.time_span) ||
+      !c.ReadU64(&state.elements_consumed) ||
+      !c.ReadU64(&state.lines_consumed) || !c.ReadU64(&state.next_seq) ||
+      !c.ReadU64(&state.bad_lines_skipped) || !c.ReadU64(&state.probs_clamped) ||
+      !c.ReadU64(&state.ooo_dropped) || !c.ReadU64(&count)) {
+    return Fail(error, "checkpoint payload truncated in fixed fields");
+  }
+  if (dims < 1 || dims > static_cast<uint32_t>(kMaxDims)) {
+    return Fail(error, "checkpoint dims out of range: " + std::to_string(dims));
+  }
+  state.dims = static_cast<int>(dims);
+  if (!(state.q > 0.0) || !(state.q <= 1.0) || !std::isfinite(state.q)) {
+    return Fail(error, "checkpoint q out of range");
+  }
+  if (kind > static_cast<uint8_t>(WindowKind::kTime)) {
+    return Fail(error, "checkpoint window kind unknown: " +
+                           std::to_string(kind));
+  }
+  state.window_kind = static_cast<WindowKind>(kind);
+  const size_t elem_bytes = 24 + 8 * static_cast<size_t>(state.dims);
+  if (c.remaining() != count * elem_bytes) {
+    return Fail(error, "checkpoint element section size mismatch: " +
+                           std::to_string(count) + " elements need " +
+                           std::to_string(count * elem_bytes) + " bytes, " +
+                           std::to_string(c.remaining()) + " present");
+  }
+  state.window.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    UncertainElement e;
+    e.pos = Point(state.dims);
+    c.ReadU64(&e.seq);
+    c.ReadF64(&e.prob);
+    c.ReadF64(&e.time);
+    for (int d = 0; d < state.dims; ++d) c.ReadF64(&e.pos[d]);
+    if (!std::isfinite(e.prob) || e.prob <= 0.0 || e.prob > 1.0) {
+      return Fail(error, "checkpoint element " + std::to_string(i) +
+                             " has invalid probability");
+    }
+    for (int d = 0; d < state.dims; ++d) {
+      if (!std::isfinite(e.pos[d])) {
+        return Fail(error, "checkpoint element " + std::to_string(i) +
+                               " has non-finite coordinate");
+      }
+    }
+    state.window.push_back(e);
+  }
+  *out = std::move(state);
+  return true;
+}
+
+bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
+                         std::string* error) {
+  const std::string bytes = EncodeCheckpoint(state);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  // Two-chunk write with an injectable crash between the chunks, so fault
+  // tests can produce a genuinely truncated temp file.
+  const size_t half = bytes.size() / 2;
+  if (std::fwrite(bytes.data(), 1, half, f) != half) {
+    std::fclose(f);
+    return Fail(error, "short write to " + tmp);
+  }
+  if (!SurvivesCrashPoint(CheckpointCrashPoint::kMidPayload)) {
+    std::fclose(f);
+    return Fail(error, "simulated crash mid-checkpoint-write");
+  }
+  if (std::fwrite(bytes.data() + half, 1, bytes.size() - half, f) !=
+      bytes.size() - half) {
+    std::fclose(f);
+    return Fail(error, "short write to " + tmp);
+  }
+  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    return Fail(error, "cannot flush " + tmp + ": " + std::strerror(errno));
+  }
+  std::fclose(f);
+  if (!SurvivesCrashPoint(CheckpointCrashPoint::kBeforeRename)) {
+    return Fail(error, "simulated crash before checkpoint rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Fail(error, "cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(errno));
+  }
+  return true;
+}
+
+bool ReadCheckpointFile(const std::string& path, CheckpointState* out,
+                        std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Fail(error, "cannot read " + path);
+  std::string decode_error;
+  if (!DecodeCheckpoint(bytes, out, &decode_error)) {
+    return Fail(error, path + ": " + decode_error);
+  }
+  return true;
+}
+
+std::string CheckpointFileName(uint64_t elements_consumed) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ckpt-%020llu.psky",
+                static_cast<unsigned long long>(elements_consumed));
+  return buf;
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == CheckpointFileName(0).size() &&
+        name.rfind("ckpt-", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".psky") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded counts make lexicographic order stream order.
+  std::sort(files.begin(), files.end(), std::greater<>());
+  return files;
+}
+
+bool LoadLatestCheckpoint(const std::string& dir, CheckpointState* out,
+                          std::string* error) {
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  std::string diagnostics;
+  for (const std::string& path : files) {
+    std::string file_error;
+    if (ReadCheckpointFile(path, out, &file_error)) {
+      if (error != nullptr) *error = diagnostics;  // warnings, if any
+      return true;
+    }
+    diagnostics += (diagnostics.empty() ? "" : "; ") + file_error;
+  }
+  if (diagnostics.empty()) diagnostics = "no checkpoint files in " + dir;
+  return Fail(error, diagnostics);
+}
+
+void PruneCheckpoints(const std::string& dir, size_t keep) {
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  std::error_code ec;
+  for (size_t i = keep; i < files.size(); ++i) {
+    std::filesystem::remove(files[i], ec);
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+void ReplayWindow(const CheckpointState& state, WindowSkylineOperator* op) {
+  for (const UncertainElement& e : state.window) op->Insert(e);
+}
+
+}  // namespace psky

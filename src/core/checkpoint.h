@@ -1,0 +1,131 @@
+// Durable operator state: versioned, CRC-checksummed binary snapshots of a
+// sliding-window skyline pipeline.
+//
+// A checkpoint captures everything needed to resume a continuous q-skyline
+// query after a process restart: the operator/window configuration, the
+// stream position, and the full ordered window contents. Restoring is
+// deterministic replay — the window elements are re-inserted oldest-first
+// into a fresh operator, which rebuilds exactly the candidate set and
+// probability state of the original run (the operator state is a function
+// of the window contents; see the paper's Theorems 2-4).
+//
+// File layout (all integers little-endian, doubles IEEE-754 bit patterns):
+//
+//   [0,  8)   magic "PSKYCKPT"
+//   [8, 12)   format version (u32, currently 1)
+//   [12,16)   CRC-32 of the payload
+//   [16,24)   payload size in bytes (u64)
+//   [24, ..)  payload (see EncodeCheckpoint)
+//
+// Writers persist atomically: the bytes go to "<path>.tmp" which is then
+// renamed over <path>, so a crash mid-write never clobbers an existing
+// good checkpoint. Readers reject bad magic, unknown versions, truncated
+// files and CRC mismatches with a diagnostic — never a crash.
+
+#ifndef PSKY_CORE_CHECKPOINT_H_
+#define PSKY_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/operator.h"
+#include "stream/element.h"
+
+namespace psky {
+
+/// Which sliding-window model the checkpointed pipeline ran.
+enum class WindowKind : uint8_t {
+  kCount = 0,  ///< most recent `window_capacity` elements
+  kTime = 1,   ///< most recent `time_span` seconds
+};
+
+/// Complete resumable state of a streaming skyline pipeline.
+struct CheckpointState {
+  // --- operator / window configuration ---------------------------------
+  int dims = 2;
+  double q = 0.3;
+  WindowKind window_kind = WindowKind::kCount;
+  uint64_t window_capacity = 0;  ///< count windows; 0 for time windows
+  double time_span = 0.0;        ///< time windows; 0 for count windows
+
+  // --- stream position --------------------------------------------------
+  /// Elements fed into the operator so far (pipeline steps).
+  uint64_t elements_consumed = 0;
+  /// Raw input lines read so far (CSV sources; 0 for generators).
+  uint64_t lines_consumed = 0;
+  /// Next sequence number the source will assign.
+  uint64_t next_seq = 0;
+
+  // --- ingestion counters (carried across restarts for reporting) ------
+  uint64_t bad_lines_skipped = 0;
+  uint64_t probs_clamped = 0;
+  uint64_t ooo_dropped = 0;
+
+  /// Window contents, oldest first.
+  std::vector<UncertainElement> window;
+};
+
+/// Serializes `state` into the versioned, checksummed binary format.
+std::string EncodeCheckpoint(const CheckpointState& state);
+
+/// Parses bytes produced by EncodeCheckpoint. On failure returns false and
+/// sets `*error` (bad magic, unsupported version, truncation, CRC mismatch,
+/// or malformed payload); `*out` is left unspecified.
+bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
+                      std::string* error);
+
+/// Writes `state` to `path` atomically (write "<path>.tmp", fsync, rename).
+/// Returns false and sets `*error` on any I/O failure.
+bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
+                         std::string* error);
+
+/// Reads and validates a checkpoint file. Returns false with `*error` on
+/// I/O failure or any corruption.
+bool ReadCheckpointFile(const std::string& path, CheckpointState* out,
+                        std::string* error);
+
+/// Canonical file name for a checkpoint taken after `elements_consumed`
+/// steps: "ckpt-<20-digit count>.psky" (zero-padded so lexicographic order
+/// is stream order).
+std::string CheckpointFileName(uint64_t elements_consumed);
+
+/// Checkpoint files in `dir` (by CheckpointFileName convention), newest
+/// first. Ignores temp files and unrelated names. Missing or unreadable
+/// directories yield an empty list.
+std::vector<std::string> ListCheckpointFiles(const std::string& dir);
+
+/// Loads the newest *valid* checkpoint in `dir`, skipping corrupt or
+/// truncated files (their diagnostics are appended to `*error`). Returns
+/// false when no valid checkpoint exists.
+bool LoadLatestCheckpoint(const std::string& dir, CheckpointState* out,
+                          std::string* error);
+
+/// Deletes all but the `keep` newest checkpoint files in `dir`, plus any
+/// stale ".tmp" leftovers from interrupted writes.
+void PruneCheckpoints(const std::string& dir, size_t keep);
+
+/// Rebuilds operator state by replaying the checkpointed window contents
+/// oldest-first into `op` (which must be freshly constructed with the
+/// checkpoint's dims and q).
+void ReplayWindow(const CheckpointState& state, WindowSkylineOperator* op);
+
+// --- fault injection (tests only) ---------------------------------------
+
+/// Stages of WriteCheckpointFile where a simulated crash can be injected.
+enum class CheckpointCrashPoint {
+  kMidPayload,    ///< temp file holds the header + a payload prefix
+  kBeforeRename,  ///< temp file complete, rename not yet performed
+};
+
+/// Test hook: return false from the hook to make WriteCheckpointFile stop
+/// at that point as if the process died there — the temp file is left in
+/// whatever state it reached and the target file is untouched. Pass
+/// nullptr to clear.
+using CheckpointCrashHook = bool (*)(CheckpointCrashPoint);
+void SetCheckpointCrashHook(CheckpointCrashHook hook);
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_CHECKPOINT_H_

@@ -1,15 +1,17 @@
 #include "stream/csv.h"
 
 #include <charconv>
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
 #include <vector>
-
-#include "base/check.h"
 
 namespace psky {
 
 namespace {
+
+// Probabilities salvaged by BadInputPolicy::kClamp land in (0, 1]; the
+// lower bound matches the operators' kMinElementProb so a "never occurs"
+// input stays representable.
+constexpr double kClampFloor = 1e-12;
 
 std::string_view Trim(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
@@ -66,41 +68,86 @@ CsvParseResult ParseElementCsv(std::string_view line, int dims,
   UncertainElement e;
   e.pos = Point(dims);
   for (int i = 0; i < dims; ++i) {
-    if (!ParseDouble(fields[static_cast<size_t>(i)], &e.pos[i])) {
+    if (!ParseDouble(fields[static_cast<size_t>(i)], &e.pos[i]) ||
+        !std::isfinite(e.pos[i])) {
       result.error =
           "bad coordinate in field " + std::to_string(i + 1);
       return result;
     }
   }
-  if (!ParseDouble(fields[static_cast<size_t>(dims)], &e.prob) ||
-      e.prob <= 0.0 || e.prob > 1.0) {
+  bool bad_prob = false;
+  if (!ParseDouble(fields[static_cast<size_t>(dims)], &e.prob)) {
     result.error = "probability must be a number in (0, 1]";
     return result;
   }
+  if (!std::isfinite(e.prob)) {
+    result.error = "probability must be finite";
+    return result;
+  }
+  if (e.prob <= 0.0 || e.prob > 1.0) {
+    // Keep parsing: when the rest of the line is sound this stays
+    // salvageable under a clamping policy.
+    bad_prob = true;
+  }
   if (fields.size() == want_min + 1) {
-    if (!ParseDouble(fields[want_min], &e.time)) {
+    if (!ParseDouble(fields[want_min], &e.time) || !std::isfinite(e.time)) {
       result.error = "bad timestamp";
       return result;
     }
   }
   e.seq = seq;
-  result.ok = true;
   result.element = e;
+  if (bad_prob) {
+    result.error = "probability must be a number in (0, 1]";
+    result.prob_out_of_range = true;
+    return result;
+  }
+  result.ok = true;
   return result;
 }
 
 std::optional<UncertainElement> CsvElementReader::Next() {
+  if (!skipped_start_lines_) {
+    skipped_start_lines_ = true;
+    std::string discard;
+    while (line_no_ < options_.start_line && std::getline(*in_, discard)) {
+      ++line_no_;
+    }
+  }
+  if (!error_.empty()) return std::nullopt;
+
   std::string line;
   while (std::getline(*in_, line)) {
     ++line_no_;
     CsvParseResult parsed = ParseElementCsv(line, dims_, next_seq_);
     if (parsed.skip) continue;
-    if (!parsed.ok) {
-      std::fprintf(stderr, "csv: line %llu: %s\n",
-                   static_cast<unsigned long long>(line_no_),
-                   parsed.error.c_str());
-      std::exit(2);
+    if (parsed.prob_out_of_range &&
+        options_.policy == BadInputPolicy::kClamp) {
+      parsed.element.prob = parsed.element.prob <= 0.0 ? kClampFloor : 1.0;
+      ++probs_clamped_;
+      consecutive_errors_ = 0;
+      ++next_seq_;
+      return parsed.element;
     }
+    if (!parsed.ok) {
+      if (options_.policy == BadInputPolicy::kFail) {
+        error_ = "line " + std::to_string(line_no_) + ": " + parsed.error;
+        error_line_ = line_no_;
+        return std::nullopt;
+      }
+      ++skipped_lines_;
+      if (++consecutive_errors_ > options_.max_consecutive_errors) {
+        error_ = "line " + std::to_string(line_no_) + ": " +
+                 std::to_string(consecutive_errors_) +
+                 " consecutive malformed lines (budget " +
+                 std::to_string(options_.max_consecutive_errors) +
+                 "), last: " + parsed.error;
+        error_line_ = line_no_;
+        return std::nullopt;
+      }
+      continue;
+    }
+    consecutive_errors_ = 0;
     ++next_seq_;
     return parsed.element;
   }

@@ -8,6 +8,11 @@
 // i.e. `dims` coordinate values, the occurrence probability in (0, 1],
 // and an optional non-decreasing timestamp in seconds for time-based
 // windows. Sequence numbers are assigned by the reader in arrival order.
+//
+// Malformed input is handled per a configurable policy: fail fast
+// (default, for pipelines that must not silently drop data), skip bad
+// lines under a consecutive-error budget, or additionally salvage lines
+// whose only defect is an out-of-range probability by clamping it.
 
 #ifndef PSKY_STREAM_CSV_H_
 #define PSKY_STREAM_CSV_H_
@@ -27,6 +32,10 @@ struct CsvParseResult {
   bool skip = false;  ///< blank or comment line: not an error, no element
   UncertainElement element;
   std::string error;  ///< set when !ok
+  /// True when the *only* defect is a finite probability outside (0, 1]:
+  /// `element` is otherwise fully populated (with the raw probability), so
+  /// a clamping policy can salvage the line.
+  bool prob_out_of_range = false;
 };
 
 /// Parses one line into an element with `dims` coordinates. `seq` is the
@@ -34,23 +43,67 @@ struct CsvParseResult {
 /// clamp on ingestion) but rejects values outside (0, 1].
 CsvParseResult ParseElementCsv(std::string_view line, int dims, uint64_t seq);
 
+/// What CsvElementReader does with a malformed line.
+enum class BadInputPolicy {
+  kFail,   ///< stop the stream; the reader reports the error (default)
+  kSkip,   ///< drop the line and keep a counter, within an error budget
+  kClamp,  ///< like kSkip, but salvage out-of-range probabilities by
+           ///< clamping them into (0, 1]
+};
+
+struct CsvReaderOptions {
+  BadInputPolicy policy = BadInputPolicy::kFail;
+  /// Under kSkip/kClamp, abort the stream anyway after this many
+  /// *consecutive* unusable lines — a stream that is all garbage is a
+  /// configuration error, not noise.
+  uint64_t max_consecutive_errors = 100;
+  /// Raw input lines to read and discard before parsing (checkpoint
+  /// resume: re-opened files fast-forward to the recorded position).
+  uint64_t start_line = 0;
+  /// First sequence number to assign (checkpoint resume).
+  uint64_t start_seq = 0;
+};
+
 /// Streams elements from `in`, assigning consecutive sequence numbers.
+///
+/// Next() yields elements until end of input or a fatal error; after it
+/// returns nullopt, check ok() — false means the stream stopped on
+/// malformed input (fail-fast policy, or the consecutive-error budget was
+/// exhausted) and error() carries a line-numbered diagnostic.
 class CsvElementReader {
  public:
-  CsvElementReader(std::istream* in, int dims) : in_(in), dims_(dims) {}
+  CsvElementReader(std::istream* in, int dims, CsvReaderOptions options = {})
+      : in_(in), dims_(dims), options_(options), next_seq_(options.start_seq) {}
 
-  /// Reads the next element; nullopt at end of input. Aborts the program
-  /// with a line-numbered message on malformed input (stream tools treat
-  /// bad input as fatal).
+  /// Reads the next element; nullopt at end of input or fatal error.
   std::optional<UncertainElement> Next();
 
+  /// False when the stream stopped because of malformed input.
+  bool ok() const { return error_.empty(); }
+  /// Line-numbered diagnostic for the fatal error ("" while ok()).
+  const std::string& error() const { return error_; }
+  /// 1-based input line of the fatal error (0 while ok()).
+  uint64_t error_line() const { return error_line_; }
+
   uint64_t lines_read() const { return line_no_; }
+  uint64_t next_seq() const { return next_seq_; }
+  /// Malformed lines dropped under kSkip/kClamp.
+  uint64_t skipped_lines() const { return skipped_lines_; }
+  /// Lines salvaged by clamping an out-of-range probability (kClamp).
+  uint64_t probs_clamped() const { return probs_clamped_; }
 
  private:
   std::istream* in_;
   int dims_;
+  CsvReaderOptions options_;
   uint64_t line_no_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t skipped_lines_ = 0;
+  uint64_t probs_clamped_ = 0;
+  uint64_t consecutive_errors_ = 0;
+  bool skipped_start_lines_ = false;
+  std::string error_;
+  uint64_t error_line_ = 0;
 };
 
 }  // namespace psky

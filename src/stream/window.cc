@@ -1,5 +1,7 @@
 #include "stream/window.h"
 
+#include <limits>
+
 #include "base/check.h"
 
 namespace psky {
@@ -22,19 +24,39 @@ std::vector<UncertainElement> CountWindow::Snapshot() const {
   return {buffer_.begin(), buffer_.end()};
 }
 
-TimeWindow::TimeWindow(double span_seconds) : span_(span_seconds) {
+TimeWindow::TimeWindow(double span_seconds, TimestampPolicy policy)
+    : span_(span_seconds),
+      policy_(policy),
+      watermark_(-std::numeric_limits<double>::infinity()) {
   PSKY_CHECK_MSG(span_seconds > 0.0, "window span must be positive");
 }
 
-void TimeWindow::Push(const UncertainElement& e,
-                      std::vector<UncertainElement>* expired) {
-  PSKY_DCHECK(buffer_.empty() || buffer_.back().time <= e.time);
-  const double cutoff = e.time - span_;
+bool TimeWindow::TryPush(UncertainElement* e,
+                         std::vector<UncertainElement>* expired) {
+  if (e->time < watermark_) {
+    if (policy_ == TimestampPolicy::kReject) {
+      ++rejected_;
+      return false;
+    }
+    e->time = watermark_;
+    ++clamped_;
+  }
+  watermark_ = e->time;
+  const double cutoff = e->time - span_;
   while (!buffer_.empty() && buffer_.front().time <= cutoff) {
     if (expired != nullptr) expired->push_back(buffer_.front());
     buffer_.pop_front();
   }
-  buffer_.push_back(e);
+  buffer_.push_back(*e);
+  return true;
+}
+
+void TimeWindow::Push(const UncertainElement& e,
+                      std::vector<UncertainElement>* expired) {
+  UncertainElement copy = e;
+  PSKY_CHECK_MSG(TryPush(&copy, expired),
+                 "out-of-order timestamp pushed through the in-order "
+                 "TimeWindow::Push interface");
 }
 
 std::vector<UncertainElement> TimeWindow::Snapshot() const {

@@ -9,6 +9,7 @@
 #define PSKY_STREAM_WINDOW_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -41,24 +42,53 @@ class CountWindow {
   std::deque<UncertainElement> buffer_;
 };
 
+/// What a TimeWindow does with an element whose timestamp is older than
+/// the watermark (the maximum timestamp seen so far). Real feeds deliver
+/// slightly out-of-order data; a window must either refuse it cleanly or
+/// repair it — never corrupt its ordering invariant.
+enum class TimestampPolicy {
+  kReject,            ///< TryPush returns false; the element is dropped
+  kClampToWatermark,  ///< the timestamp is raised to the watermark
+};
+
 /// Time-based sliding window over the most recent `span` seconds.
 class TimeWindow {
  public:
-  explicit TimeWindow(double span_seconds);
+  explicit TimeWindow(double span_seconds,
+                      TimestampPolicy policy = TimestampPolicy::kReject);
 
-  /// Appends `e` (timestamps must be non-decreasing) and moves every
-  /// element with time <= e.time - span into `*expired`, oldest first.
+  /// Appends `*e` and moves every element with time <= e->time - span into
+  /// `*expired`, oldest first. Returns false iff `e->time` is behind the
+  /// watermark under kReject (the window is unchanged); under
+  /// kClampToWatermark a late `e->time` is rewritten to the watermark
+  /// before insertion, so the caller feeds the operator the same timestamp
+  /// the window holds. Equal timestamps (duplicates) are always accepted.
+  bool TryPush(UncertainElement* e, std::vector<UncertainElement>* expired);
+
+  /// Legacy in-order interface: appends `e`, aborting the process if the
+  /// stream violates timestamp ordering under kReject.
   void Push(const UncertainElement& e,
             std::vector<UncertainElement>* expired);
 
   size_t size() const { return buffer_.size(); }
   double span() const { return span_; }
+  TimestampPolicy policy() const { return policy_; }
+  /// Largest timestamp accepted so far (-infinity before the first push).
+  double watermark() const { return watermark_; }
+  /// Elements dropped by TimestampPolicy::kReject.
+  uint64_t rejected() const { return rejected_; }
+  /// Timestamps rewritten by TimestampPolicy::kClampToWatermark.
+  uint64_t clamped() const { return clamped_; }
 
   /// Window contents, oldest first.
   std::vector<UncertainElement> Snapshot() const;
 
  private:
   double span_;
+  TimestampPolicy policy_;
+  double watermark_;
+  uint64_t rejected_ = 0;
+  uint64_t clamped_ = 0;
   std::deque<UncertainElement> buffer_;
 };
 

@@ -1,6 +1,7 @@
 // CSV ingestion parsing.
 
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -55,6 +56,29 @@ TEST(CsvParse, NegativeAndScientificCoordinates) {
   EXPECT_DOUBLE_EQ(r.element.pos[1], 1e-3);
 }
 
+TEST(CsvParse, RejectsNonFiniteValues) {
+  EXPECT_FALSE(ParseElementCsv("nan,2,0.5", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,inf,0.5", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,nan", 2, 0).ok);
+  EXPECT_FALSE(ParseElementCsv("1,2,0.5,inf", 2, 0).ok);
+  // A non-finite probability is NOT salvageable by clamping.
+  EXPECT_FALSE(ParseElementCsv("1,2,inf", 2, 0).prob_out_of_range);
+}
+
+TEST(CsvParse, FlagsSalvageableOutOfRangeProbability) {
+  const auto r = ParseElementCsv("1,2,1.5,3.25", 2, 9);
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.prob_out_of_range);
+  // Everything but the probability parsed: a clamping policy can use it.
+  EXPECT_EQ(r.element.pos, Point({1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(r.element.prob, 1.5);
+  EXPECT_DOUBLE_EQ(r.element.time, 3.25);
+  EXPECT_EQ(r.element.seq, 9u);
+  // A bad coordinate is not salvageable even if the probability is the
+  // only *range* problem.
+  EXPECT_FALSE(ParseElementCsv("x,2,1.5", 2, 0).prob_out_of_range);
+}
+
 TEST(CsvReader, AssignsSequentialSeqsAndSkips) {
   std::istringstream in("# two elements\n1,2,0.5\n\n3,4,0.25\n");
   CsvElementReader reader(&in, 2);
@@ -66,6 +90,100 @@ TEST(CsvReader, AssignsSequentialSeqsAndSkips) {
   EXPECT_EQ(b->seq, 1u);
   EXPECT_DOUBLE_EQ(b->prob, 0.25);
   EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(CsvReader, FailFastStopsWithLineNumberedError) {
+  std::istringstream in("1,2,0.5\nbad,line,0.5\n3,4,0.25\n");
+  CsvElementReader reader(&in, 2);
+  ASSERT_TRUE(reader.Next().has_value());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error_line(), 2u);
+  EXPECT_NE(reader.error().find("line 2"), std::string::npos)
+      << reader.error();
+  // The reader stays stopped: no element after the poisoned line.
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(CsvReader, SkipPolicyDropsAndCounts) {
+  std::istringstream in(
+      "1,2,0.5\nbad,line,0.5\n7,8\n3,4,0.25\n5,6,2.0\n9,10,0.75\n");
+  CsvReaderOptions options;
+  options.policy = BadInputPolicy::kSkip;
+  CsvElementReader reader(&in, 2, options);
+  std::vector<uint64_t> seqs;
+  while (auto e = reader.Next()) seqs.push_back(e->seq);
+  EXPECT_TRUE(reader.ok());
+  // Three good lines survive with consecutive seqs; the out-of-range
+  // probability is dropped too (kSkip does not clamp).
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(reader.skipped_lines(), 3u);
+  EXPECT_EQ(reader.probs_clamped(), 0u);
+}
+
+TEST(CsvReader, SkipPolicyExhaustsConsecutiveErrorBudget) {
+  std::istringstream in("1,2,0.5\nbad\nbad\nbad\nbad\n3,4,0.25\n");
+  CsvReaderOptions options;
+  options.policy = BadInputPolicy::kSkip;
+  options.max_consecutive_errors = 3;
+  CsvElementReader reader(&in, 2, options);
+  ASSERT_TRUE(reader.Next().has_value());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error_line(), 5u);
+  EXPECT_NE(reader.error().find("consecutive"), std::string::npos);
+}
+
+TEST(CsvReader, GoodLinesResetTheConsecutiveErrorBudget) {
+  std::istringstream in("bad\nbad\n1,2,0.5\nbad\nbad\n3,4,0.25\n");
+  CsvReaderOptions options;
+  options.policy = BadInputPolicy::kSkip;
+  options.max_consecutive_errors = 2;
+  CsvElementReader reader(&in, 2, options);
+  size_t elements = 0;
+  while (reader.Next()) ++elements;
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(elements, 2u);
+  EXPECT_EQ(reader.skipped_lines(), 4u);
+}
+
+TEST(CsvReader, ClampPolicySalvagesOutOfRangeProbabilities) {
+  std::istringstream in("1,2,1.5\n3,4,-0.25\n5,6,0.5\nbad,line,1\n");
+  CsvReaderOptions options;
+  options.policy = BadInputPolicy::kClamp;
+  CsvElementReader reader(&in, 2, options);
+  auto a = reader.Next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->prob, 1.0);  // 1.5 clamped down
+  auto b = reader.Next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GT(b->prob, 0.0);  // -0.25 clamped to the representable floor
+  EXPECT_LE(b->prob, 1e-12);
+  auto c = reader.Next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->prob, 0.5);  // in-range values pass through untouched
+  EXPECT_FALSE(reader.Next().has_value());  // structurally bad: still skipped
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.probs_clamped(), 2u);
+  EXPECT_EQ(reader.skipped_lines(), 1u);
+}
+
+TEST(CsvReader, ResumeOptionsFastForwardLinesAndSeqs) {
+  // A resumed pipeline re-opens the file, discards the lines it already
+  // consumed (however malformed), and keeps numbering where it left off.
+  std::istringstream in("1,2,0.5\ngarbage\n3,4,0.25\n5,6,0.75\n");
+  CsvReaderOptions options;
+  options.start_line = 3;
+  options.start_seq = 2;
+  CsvElementReader reader(&in, 2, options);
+  auto e = reader.Next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 2u);
+  EXPECT_DOUBLE_EQ(e->prob, 0.75);
+  EXPECT_EQ(reader.lines_read(), 4u);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_TRUE(reader.ok());
 }
 
 }  // namespace

@@ -250,5 +250,100 @@ TEST(TimeWindow, BoundaryIsInclusiveExpiry) {
   EXPECT_EQ(expired[0].seq, 0u);
 }
 
+TEST(TimeWindow, RejectPolicyDropsOutOfOrderElements) {
+  TimeWindow w(10.0, TimestampPolicy::kReject);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  e.seq = 0;
+  e.time = 5.0;
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(w.watermark(), 5.0);
+
+  // Behind the watermark: refused, window untouched, counted.
+  e.seq = 1;
+  e.time = 4.0;
+  EXPECT_FALSE(w.TryPush(&e, &expired));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.rejected(), 1u);
+  EXPECT_EQ(w.watermark(), 5.0);
+
+  // The stream recovers afterwards as if the straggler never arrived.
+  e.seq = 2;
+  e.time = 6.0;
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(w.size(), 2u);
+  auto snap = w.Snapshot();
+  EXPECT_EQ(snap[0].seq, 0u);
+  EXPECT_EQ(snap[1].seq, 2u);
+}
+
+TEST(TimeWindow, DuplicateTimestampsAreAcceptedUnderBothPolicies) {
+  for (TimestampPolicy policy :
+       {TimestampPolicy::kReject, TimestampPolicy::kClampToWatermark}) {
+    TimeWindow w(10.0, policy);
+    std::vector<UncertainElement> expired;
+    UncertainElement e;
+    for (uint64_t seq = 0; seq < 3; ++seq) {
+      e.seq = seq;
+      e.time = 7.0;  // ties are legal: timestamps are non-decreasing
+      EXPECT_TRUE(w.TryPush(&e, &expired));
+    }
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_EQ(w.rejected(), 0u);
+    EXPECT_EQ(w.clamped(), 0u);
+    EXPECT_EQ(w.watermark(), 7.0);
+  }
+}
+
+TEST(TimeWindow, ClampPolicyRaisesLateTimestampsToWatermark) {
+  TimeWindow w(10.0, TimestampPolicy::kClampToWatermark);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  e.seq = 0;
+  e.time = 8.0;
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+
+  e.seq = 1;
+  e.time = 3.0;  // late: rewritten to 8.0, caller sees the repair
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(e.time, 8.0);
+  EXPECT_EQ(w.clamped(), 1u);
+  EXPECT_EQ(w.rejected(), 0u);
+  EXPECT_EQ(w.watermark(), 8.0);
+
+  auto snap = w.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1].time, 8.0) << "window must hold the repaired timestamp";
+
+  // Expiry still works off the repaired ordering.
+  e.seq = 2;
+  e.time = 18.5;
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimeWindow, OutOfOrderStreamKeepsOrderingInvariantUnderClamp) {
+  // A jittered stream: every element lands, the buffer stays
+  // non-decreasing in time, and the watermark never moves backwards.
+  TimeWindow w(50.0, TimestampPolicy::kClampToWatermark);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  const double times[] = {1.0, 3.0, 2.0, 2.5, 3.0, 7.0, 4.0, 9.0};
+  uint64_t seq = 0;
+  for (double t : times) {
+    e.seq = seq++;
+    e.time = t;
+    EXPECT_TRUE(w.TryPush(&e, &expired));
+  }
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_EQ(w.clamped(), 3u);
+  const auto snap = w.Snapshot();
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LE(snap[i - 1].time, snap[i].time);
+  }
+  EXPECT_EQ(w.watermark(), 9.0);
+}
+
 }  // namespace
 }  // namespace psky

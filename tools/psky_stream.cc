@@ -9,12 +9,25 @@
 // Input lines: v1,...,vd,prob[,timestamp]  ('#' comments allowed).
 // With --time-span T the window is time-based (timestamps required).
 //
+// Fault tolerance (see docs/operations.md):
+//   --checkpoint-dir DIR     durable snapshots of the window state
+//   --checkpoint-every K     snapshot every K elements (plus one at exit)
+//   --resume                 restore the newest valid snapshot, fast-forward
+//                            the source, and continue the stream
+//   --on-bad-input fail|skip|clamp   malformed-line policy (default fail)
+//   --ooo-policy reject|clamp        late-timestamp policy (default reject)
+// SIGINT/SIGTERM drain gracefully: a final checkpoint is flushed (when a
+// checkpoint dir is configured) and counters are reported before exit.
+//
 // Output (stdout), one line per report:
 //   counts:  step=<n> candidates=<c> skyline=<s>
 //   deltas:  +<seq> / -<seq> skyline membership changes as they happen
 //   final:   the full skyline once, at end of stream
-// Exit codes: 0 ok, 1 bad usage, 2 malformed input.
+// Exit codes: 0 ok (including graceful signal stop), 1 bad usage or
+// configuration, 2 malformed input, 3 checkpoint I/O failure.
 
+#include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +37,7 @@
 #include <optional>
 #include <string>
 
+#include "core/checkpoint.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
 #include "stream/csv.h"
@@ -32,6 +46,10 @@
 #include "stream/window.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
 
 struct Args {
   int dims = 2;
@@ -45,6 +63,11 @@ struct Args {
   std::string emit = "counts";
   size_t every = 10000;
   size_t topk = 0;
+  std::string checkpoint_dir;       // empty: checkpointing disabled
+  uint64_t checkpoint_every = 0;    // 0: only final/signal checkpoints
+  bool resume = false;
+  psky::BadInputPolicy on_bad_input = psky::BadInputPolicy::kFail;
+  psky::TimestampPolicy ooo_policy = psky::TimestampPolicy::kReject;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -55,8 +78,45 @@ struct Args {
                "                   [--input FILE | --generate "
                "anti|inde|corr|stock --count N]\n"
                "                   [--emit counts|deltas|final] [--every K] "
-               "[--topk K] [--seed S]\n");
+               "[--topk K] [--seed S]\n"
+               "                   [--checkpoint-dir DIR [--checkpoint-every "
+               "K] [--resume]]\n"
+               "                   [--on-bad-input fail|skip|clamp] "
+               "[--ooo-policy reject|clamp]\n");
   std::exit(1);
+}
+
+// --- checked flag-value parsing -----------------------------------------
+// atoi/atof silently turn garbage into 0; these reject any value that is
+// not entirely a number of the right shape.
+
+[[noreturn]] void BadValue(const std::string& flag, const char* value) {
+  Usage(("bad value for " + flag + ": '" + value + "'").c_str());
+}
+
+double ParseDoubleValue(const std::string& flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) BadValue(flag, value);
+  return v;
+}
+
+uint64_t ParseUint64Value(const std::string& flag, const char* value) {
+  const char* p = value;
+  while (*p == ' ') ++p;
+  if (*p == '-' || *p == '\0') BadValue(flag, value);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) BadValue(flag, value);
+  return v;
+}
+
+int ParseIntValue(const std::string& flag, const char* value) {
+  const uint64_t v = ParseUint64Value(flag, value);
+  if (v > static_cast<uint64_t>(INT_MAX)) BadValue(flag, value);
+  return static_cast<int>(v);
 }
 
 Args Parse(int argc, char** argv) {
@@ -68,27 +128,53 @@ Args Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--dims") {
-      args.dims = std::atoi(need(i++));
+      args.dims = ParseIntValue(flag, need(i++));
     } else if (flag == "--q") {
-      args.q = std::atof(need(i++));
+      args.q = ParseDoubleValue(flag, need(i++));
     } else if (flag == "--window") {
-      args.window = static_cast<size_t>(std::atoll(need(i++)));
+      args.window = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--time-span") {
-      args.time_span = std::atof(need(i++));
+      args.time_span = ParseDoubleValue(flag, need(i++));
     } else if (flag == "--input") {
       args.input = need(i++);
     } else if (flag == "--generate") {
       args.generate = need(i++);
     } else if (flag == "--count") {
-      args.count = static_cast<size_t>(std::atoll(need(i++)));
+      args.count = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--seed") {
-      args.seed = static_cast<uint64_t>(std::atoll(need(i++)));
+      args.seed = ParseUint64Value(flag, need(i++));
     } else if (flag == "--emit") {
       args.emit = need(i++);
     } else if (flag == "--every") {
-      args.every = static_cast<size_t>(std::atoll(need(i++)));
+      args.every = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--topk") {
-      args.topk = static_cast<size_t>(std::atoll(need(i++)));
+      args.topk = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
+    } else if (flag == "--checkpoint-dir") {
+      args.checkpoint_dir = need(i++);
+    } else if (flag == "--checkpoint-every") {
+      args.checkpoint_every = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--on-bad-input") {
+      const std::string v = need(i++);
+      if (v == "fail") {
+        args.on_bad_input = psky::BadInputPolicy::kFail;
+      } else if (v == "skip") {
+        args.on_bad_input = psky::BadInputPolicy::kSkip;
+      } else if (v == "clamp") {
+        args.on_bad_input = psky::BadInputPolicy::kClamp;
+      } else {
+        Usage("--on-bad-input must be fail, skip or clamp");
+      }
+    } else if (flag == "--ooo-policy") {
+      const std::string v = need(i++);
+      if (v == "reject") {
+        args.ooo_policy = psky::TimestampPolicy::kReject;
+      } else if (v == "clamp") {
+        args.ooo_policy = psky::TimestampPolicy::kClampToWatermark;
+      } else {
+        Usage("--ooo-policy must be reject or clamp");
+      }
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -100,13 +186,21 @@ Args Parse(int argc, char** argv) {
   if (args.emit != "counts" && args.emit != "deltas" && args.emit != "final") {
     Usage("--emit must be counts, deltas or final");
   }
+  if (args.window == 0 && args.time_span <= 0.0) {
+    Usage("--window must be positive");
+  }
+  if ((args.resume || args.checkpoint_every > 0) &&
+      args.checkpoint_dir.empty()) {
+    Usage("--resume / --checkpoint-every require --checkpoint-dir");
+  }
   return args;
 }
 
 // Pulls elements from either a CSV reader or a built-in generator.
 class Source {
  public:
-  explicit Source(const Args& args) : args_(args) {
+  Source(const Args& args, const psky::CheckpointState* resume_from)
+      : args_(args) {
     if (!args.generate.empty()) {
       if (args.generate == "stock") {
         psky::StockConfig cfg;
@@ -128,7 +222,28 @@ class Source {
         }
         synthetic_ = std::make_unique<psky::StreamGenerator>(cfg);
       }
+      // Generators are deterministic in the seed: fast-forward by
+      // regenerating and discarding everything already consumed.
+      if (resume_from != nullptr) {
+        for (uint64_t i = 0; i < resume_from->elements_consumed; ++i) {
+          if (produced_ >= args_.count) break;
+          ++produced_;
+          if (stock_ != nullptr) {
+            stock_->Next();
+          } else {
+            synthetic_->Next();
+          }
+        }
+      }
       return;
+    }
+    psky::CsvReaderOptions options;
+    options.policy = args.on_bad_input;
+    if (resume_from != nullptr) {
+      // Files re-read from the top and skip to the recorded position; a
+      // pipe on stdin simply continues with whatever arrives next.
+      options.start_line = args.input.empty() ? 0 : resume_from->lines_consumed;
+      options.start_seq = resume_from->next_seq;
     }
     if (!args.input.empty()) {
       file_.open(args.input);
@@ -136,9 +251,11 @@ class Source {
         std::fprintf(stderr, "error: cannot open %s\n", args.input.c_str());
         std::exit(1);
       }
-      csv_ = std::make_unique<psky::CsvElementReader>(&file_, args.dims);
+      csv_ = std::make_unique<psky::CsvElementReader>(&file_, args.dims,
+                                                      options);
     } else {
-      csv_ = std::make_unique<psky::CsvElementReader>(&std::cin, args.dims);
+      csv_ = std::make_unique<psky::CsvElementReader>(&std::cin, args.dims,
+                                                      options);
     }
   }
 
@@ -149,6 +266,8 @@ class Source {
     return stock_ != nullptr ? stock_->Next() : synthetic_->Next();
   }
 
+  const psky::CsvElementReader* csv() const { return csv_.get(); }
+
  private:
   const Args& args_;
   std::ifstream file_;
@@ -158,10 +277,49 @@ class Source {
   size_t produced_ = 0;
 };
 
+// Counters carried across restarts via the checkpoint.
+struct CarriedCounters {
+  uint64_t bad_lines_skipped = 0;
+  uint64_t probs_clamped = 0;
+  uint64_t ooo_dropped = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+
+  // --- resume: load the newest valid checkpoint -------------------------
+  psky::CheckpointState resume_state;
+  bool resumed = false;
+  if (args.resume) {
+    std::string error;
+    if (!psky::LoadLatestCheckpoint(args.checkpoint_dir, &resume_state,
+                                    &error)) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                   args.checkpoint_dir.c_str(), error.c_str());
+      return 3;
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "warning: skipped corrupt checkpoint(s): %s\n",
+                   error.c_str());
+    }
+    const psky::WindowKind want_kind = args.time_span > 0.0
+                                           ? psky::WindowKind::kTime
+                                           : psky::WindowKind::kCount;
+    if (resume_state.dims != args.dims || resume_state.q != args.q ||
+        resume_state.window_kind != want_kind ||
+        (want_kind == psky::WindowKind::kCount &&
+         resume_state.window_capacity != args.window) ||
+        (want_kind == psky::WindowKind::kTime &&
+         resume_state.time_span != args.time_span)) {
+      std::fprintf(stderr,
+                   "error: checkpoint was taken with a different "
+                   "dims/q/window configuration\n");
+      return 1;
+    }
+    resumed = true;
+  }
 
   psky::SkyTree::Options options;
   options.record_events = args.emit == "deltas";
@@ -170,23 +328,119 @@ int main(int argc, char** argv) {
   std::unique_ptr<psky::CountWindow> count_window;
   std::unique_ptr<psky::TimeWindow> time_window;
   if (args.time_span > 0.0) {
-    time_window = std::make_unique<psky::TimeWindow>(args.time_span);
+    time_window =
+        std::make_unique<psky::TimeWindow>(args.time_span, args.ooo_policy);
   } else {
     count_window = std::make_unique<psky::CountWindow>(args.window);
   }
 
-  Source source(args);
+  CarriedCounters carried;
+  uint64_t step = 0;
+  if (resumed) {
+    // Deterministic replay: re-inserting the checkpointed window contents
+    // oldest-first rebuilds the exact candidate-set state.
+    psky::ReplayWindow(resume_state, &op);
+    for (const auto& e : resume_state.window) {
+      if (time_window != nullptr) {
+        time_window->Push(e, nullptr);
+      } else {
+        count_window->Push(e);
+      }
+    }
+    if (options.record_events) op.TakeSkylineDelta();  // replay is not news
+    step = resume_state.elements_consumed;
+    carried.bad_lines_skipped = resume_state.bad_lines_skipped;
+    carried.probs_clamped = resume_state.probs_clamped;
+    carried.ooo_dropped = resume_state.ooo_dropped;
+    std::fprintf(stderr,
+                 "resumed at step %llu (window holds %zu elements)\n",
+                 static_cast<unsigned long long>(step),
+                 resume_state.window.size());
+  }
+
+  Source source(args, resumed ? &resume_state : nullptr);
+
+  uint64_t checkpoints_written = 0;
+  auto write_checkpoint = [&]() -> bool {
+    psky::CheckpointState state;
+    state.dims = args.dims;
+    state.q = args.q;
+    if (time_window != nullptr) {
+      state.window_kind = psky::WindowKind::kTime;
+      state.time_span = args.time_span;
+      state.window = time_window->Snapshot();
+    } else {
+      state.window_kind = psky::WindowKind::kCount;
+      state.window_capacity = args.window;
+      state.window = count_window->Snapshot();
+    }
+    state.elements_consumed = step;
+    const psky::CsvElementReader* csv = source.csv();
+    if (csv != nullptr) {
+      state.lines_consumed =
+          (resumed && args.input.empty() ? resume_state.lines_consumed : 0) +
+          csv->lines_read();
+      state.next_seq = csv->next_seq();
+    } else {
+      state.next_seq = step;
+    }
+    state.bad_lines_skipped =
+        carried.bad_lines_skipped + (csv != nullptr ? csv->skipped_lines() : 0);
+    state.probs_clamped =
+        carried.probs_clamped + (csv != nullptr ? csv->probs_clamped() : 0);
+    state.ooo_dropped =
+        carried.ooo_dropped +
+        (time_window != nullptr ? time_window->rejected() : 0);
+    const std::string path =
+        args.checkpoint_dir + "/" + psky::CheckpointFileName(step);
+    std::string error;
+    if (!psky::WriteCheckpointFile(path, state, &error)) {
+      std::fprintf(stderr, "error: checkpoint failed: %s\n", error.c_str());
+      return false;
+    }
+    psky::PruneCheckpoints(args.checkpoint_dir, 2);
+    ++checkpoints_written;
+    return true;
+  };
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
   std::vector<psky::UncertainElement> expired;
-  size_t step = 0;
-  while (auto element = source.Next()) {
+  bool stopped_by_signal = false;
+  while (true) {
+    if (g_stop_requested != 0) {
+      stopped_by_signal = true;
+      break;
+    }
+    auto element = source.Next();
+    if (!element.has_value()) break;
+
     if (time_window != nullptr) {
       expired.clear();
-      time_window->Push(*element, &expired);
+      psky::UncertainElement incoming = *element;
+      if (!time_window->TryPush(&incoming, &expired)) {
+        // Late timestamp under --ooo-policy reject: treat like a
+        // malformed line.
+        if (args.on_bad_input == psky::BadInputPolicy::kFail) {
+          const psky::CsvElementReader* csv = source.csv();
+          std::fprintf(
+              stderr,
+              "error: line %llu: out-of-order timestamp %g is behind "
+              "watermark %g (see --ooo-policy)\n",
+              static_cast<unsigned long long>(
+                  csv != nullptr ? csv->lines_read() : step + 1),
+              incoming.time, time_window->watermark());
+          return 2;
+        }
+        continue;
+      }
       for (const auto& old : expired) op.Expire(old);
-    } else if (auto old = count_window->Push(*element)) {
-      op.Expire(*old);
+      op.Insert(incoming);
+    } else {
+      if (auto old = count_window->Push(*element)) op.Expire(*old);
+      op.Insert(*element);
     }
-    op.Insert(*element);
     ++step;
 
     if (args.emit == "deltas") {
@@ -197,10 +451,28 @@ int main(int argc, char** argv) {
       for (uint64_t seq : delta.entered) {
         std::printf("+%llu\n", static_cast<unsigned long long>(seq));
       }
-    } else if (args.emit == "counts" && step % args.every == 0) {
-      std::printf("step=%zu candidates=%zu skyline=%zu\n", step,
-                  op.candidate_count(), op.skyline_count());
+    } else if (args.emit == "counts" && args.every > 0 &&
+               step % args.every == 0) {
+      std::printf("step=%llu candidates=%zu skyline=%zu\n",
+                  static_cast<unsigned long long>(step), op.candidate_count(),
+                  op.skyline_count());
     }
+
+    if (args.checkpoint_every > 0 && step % args.checkpoint_every == 0) {
+      if (!write_checkpoint()) return 3;
+    }
+  }
+
+  // A reader that stopped on malformed input (fail-fast, or the skip
+  // budget ran out) is a hard input error: exit 2 with the line number.
+  const psky::CsvElementReader* csv = source.csv();
+  if (!stopped_by_signal && csv != nullptr && !csv->ok()) {
+    std::fprintf(stderr, "error: %s\n", csv->error().c_str());
+    return 2;
+  }
+
+  if (!args.checkpoint_dir.empty()) {
+    if (!write_checkpoint()) return 3;
   }
 
   if (args.emit == "final" || args.topk > 0) {
@@ -216,7 +488,33 @@ int main(int argc, char** argv) {
       std::printf(" prob=%g\n", m.element.prob);
     }
   }
-  std::fprintf(stderr, "processed %zu elements; |S|=%zu |SKY|=%zu\n", step,
-               op.candidate_count(), op.skyline_count());
+
+  const uint64_t skipped =
+      carried.bad_lines_skipped + (csv != nullptr ? csv->skipped_lines() : 0);
+  const uint64_t clamped =
+      carried.probs_clamped + (csv != nullptr ? csv->probs_clamped() : 0);
+  const uint64_t ooo =
+      carried.ooo_dropped +
+      (time_window != nullptr ? time_window->rejected() : 0);
+  std::fprintf(stderr, "processed %llu elements; |S|=%zu |SKY|=%zu\n",
+               static_cast<unsigned long long>(step), op.candidate_count(),
+               op.skyline_count());
+  if (skipped > 0 || clamped > 0 || ooo > 0) {
+    std::fprintf(stderr,
+                 "skipped %llu malformed lines, clamped %llu probabilities, "
+                 "dropped %llu out-of-order elements\n",
+                 static_cast<unsigned long long>(skipped),
+                 static_cast<unsigned long long>(clamped),
+                 static_cast<unsigned long long>(ooo));
+  }
+  if (checkpoints_written > 0) {
+    std::fprintf(stderr, "wrote %llu checkpoint(s) to %s\n",
+                 static_cast<unsigned long long>(checkpoints_written),
+                 args.checkpoint_dir.c_str());
+  }
+  if (stopped_by_signal) {
+    std::fprintf(stderr, "stopped by signal after %llu elements\n",
+                 static_cast<unsigned long long>(step));
+  }
   return 0;
 }
