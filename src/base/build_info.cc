@@ -1,0 +1,20 @@
+#include "base/build_info.h"
+
+#ifndef PSKY_GIT_HASH
+#define PSKY_GIT_HASH "unknown"
+#endif
+#ifndef PSKY_BUILD_TYPE
+#define PSKY_BUILD_TYPE "unknown"
+#endif
+
+namespace psky {
+
+const char* BuildGitHash() { return PSKY_GIT_HASH; }
+
+const char* BuildType() { return PSKY_BUILD_TYPE; }
+
+std::string BuildInfoString() {
+  return std::string("psky ") + PSKY_GIT_HASH + " (" + PSKY_BUILD_TYPE + ")";
+}
+
+}  // namespace psky

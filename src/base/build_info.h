@@ -1,0 +1,27 @@
+// Build identification: the git revision and build type this binary was
+// compiled from. Stamped into checkpoint headers and crash-quarantine
+// dumps so a post-mortem always identifies the producing binary.
+//
+// The values are injected at CMake configure time (PSKY_GIT_HASH /
+// PSKY_BUILD_TYPE compile definitions); outside a git checkout they fall
+// back to "unknown".
+
+#ifndef PSKY_BASE_BUILD_INFO_H_
+#define PSKY_BASE_BUILD_INFO_H_
+
+#include <string>
+
+namespace psky {
+
+/// Short git revision of the source tree ("unknown" outside a checkout).
+const char* BuildGitHash();
+
+/// CMake build type ("Release", "Debug", ... or "unknown").
+const char* BuildType();
+
+/// One-line stamp, e.g. "psky 1a2b3c4d5e6f (Release)".
+std::string BuildInfoString();
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_BUILD_INFO_H_

@@ -1,0 +1,37 @@
+#include "base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psky {
+
+namespace {
+CheckFailureHandler g_handler = nullptr;
+bool g_in_handler = false;
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+void CheckFailed(const char* condition, const char* file, int line,
+                 const char* msg) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "PSKY_CHECK failed: %s (%s) at %s:%d\n", condition,
+                 msg, file, line);
+  } else {
+    std::fprintf(stderr, "PSKY_CHECK failed: %s at %s:%d\n", condition, file,
+                 line);
+  }
+  // A check failing while the handler runs (corrupt state is corrupt state)
+  // must not recurse forever.
+  if (g_handler != nullptr && !g_in_handler) {
+    g_in_handler = true;
+    g_handler(condition, file, line);
+  }
+  std::abort();
+}
+
+}  // namespace psky

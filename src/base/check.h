@@ -1,31 +1,46 @@
 // Lightweight assertion macros for invariant checking.
 //
 // The library is built without exceptions (Google style); fatal invariant
-// violations abort with a diagnostic. PSKY_DCHECK compiles away in release
-// builds (NDEBUG) and is used on hot paths.
+// violations print a diagnostic, invoke the installed failure handler (so
+// long-running processes can dump a post-mortem — see core/audit.h's crash
+// quarantine), and abort. PSKY_DCHECK compiles away in release builds
+// (NDEBUG) and is used on hot paths.
 
 #ifndef PSKY_BASE_CHECK_H_
 #define PSKY_BASE_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+namespace psky {
 
-#define PSKY_CHECK(cond)                                                    \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "PSKY_CHECK failed: %s at %s:%d\n", #cond,       \
-                   __FILE__, __LINE__);                                     \
-      std::abort();                                                         \
-    }                                                                       \
+/// Invoked once, after the diagnostic is printed and before abort(), when
+/// any PSKY_CHECK fails. Re-entrant failures (a check failing inside the
+/// handler) skip straight to abort. The handler must not return control to
+/// the failing code path — the process aborts regardless.
+using CheckFailureHandler = void (*)(const char* condition, const char* file,
+                                     int line);
+
+/// Installs `handler` process-wide; pass nullptr to clear. Returns the
+/// previously installed handler.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// Prints the diagnostic, runs the failure handler, and aborts. `msg` may
+/// be nullptr.
+[[noreturn]] void CheckFailed(const char* condition, const char* file,
+                              int line, const char* msg);
+
+}  // namespace psky
+
+#define PSKY_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::psky::CheckFailed(#cond, __FILE__, __LINE__, nullptr);    \
+    }                                                             \
   } while (0)
 
-#define PSKY_CHECK_MSG(cond, msg)                                           \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "PSKY_CHECK failed: %s (%s) at %s:%d\n", #cond,  \
-                   msg, __FILE__, __LINE__);                                \
-      std::abort();                                                         \
-    }                                                                       \
+#define PSKY_CHECK_MSG(cond, msg)                                 \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::psky::CheckFailed(#cond, __FILE__, __LINE__, msg);        \
+    }                                                             \
   } while (0)
 
 #ifdef NDEBUG

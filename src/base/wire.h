@@ -1,0 +1,99 @@
+// Byte-level wire primitives shared by the durable-state serializers
+// (core/checkpoint.cc, core/audit.cc): little-endian integers, IEEE-754
+// doubles as raw bit patterns, and length-prefixed strings, with a
+// bounds-checked cursor for decoding. Values round-trip bit-exactly.
+
+#ifndef PSKY_BASE_WIRE_H_
+#define PSKY_BASE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace psky {
+namespace wire {
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  AppendU64(out, bits);
+}
+
+inline void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Sequential decoder over a byte view; every read reports truncation
+/// instead of walking off the end.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+  /// Length-prefixed string; rejects lengths above `max_bytes` so a
+  /// corrupted prefix cannot demand a huge allocation.
+  bool ReadString(std::string* v, uint64_t max_bytes) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > max_bytes || pos_ + len > bytes_.size()) return false;
+    v->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+  /// A raw byte run of exactly `len` bytes.
+  bool ReadBytes(std::string* v, uint64_t len) {
+    if (pos_ + len > bytes_.size()) return false;
+    v->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+}  // namespace psky
+
+#endif  // PSKY_BASE_WIRE_H_

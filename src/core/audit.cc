@@ -1,0 +1,308 @@
+#include "core/audit.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "base/build_info.h"
+#include "base/crc32.h"
+#include "base/wire.h"
+#include "core/naive_operator.h"
+#include "geom/dominance.h"
+
+namespace psky {
+
+namespace {
+
+std::vector<uint64_t> SkylineSeqs(const std::vector<SkylineMember>& members) {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(members.size());
+  for (const SkylineMember& m : members) seqs.push_back(m.element.seq);
+  return seqs;  // Skyline() is already seq-sorted in both operators
+}
+
+}  // namespace
+
+AuditManager::AuditManager(SskyOperator* op, AuditOptions options,
+                           WindowSnapshotFn window)
+    : op_(op),
+      options_(options),
+      window_(std::move(window)),
+      q_log_(std::log(op->threshold())) {}
+
+bool AuditManager::AuditOne(const std::vector<UncertainElement>& window,
+                            size_t idx) {
+  const UncertainElement& e = window[idx];
+  ++report_.elements_audited;
+
+  // Exact P_new from first principles: every dominator that arrived after
+  // `e` is still in the window (windows expire oldest-first), so the sum
+  // over newer window dominators *is* the true accumulated P_new — no lazy
+  // state consulted.
+  double exact_pnew = 0.0;
+  for (size_t j = idx + 1; j < window.size(); ++j) {
+    if (Dominates(window[j].pos, e.pos)) {
+      exact_pnew += LogOneMinusProb(ClampProb(window[j].prob));
+    }
+  }
+
+  const SkyTree* tree = &op_->tree();
+  const SkyTree::AuditView view = tree->LookupForAudit(e.pos, e.seq);
+  if (!view.found) {
+    // Evicted from S_{N,q}. Eviction is sound iff exact P_new sits below
+    // the retention threshold; newer dominators only shrink P_new, so a
+    // correct eviction can never look wrong later. The tolerance margin
+    // keeps honest boundary rounding from flagging.
+    if (exact_pnew >= q_log_ + options_.tolerance) {
+      ++report_.false_evictions;
+      ++report_.violations_unrepaired;
+      return false;
+    }
+    return true;
+  }
+
+  // Exact P_old: the combined dominator sum over the live candidate set
+  // fixes P_sky, and P_old is the remainder after the window-exact P_new
+  // (eviction compensation is booked against P_old, paper Lemma 2).
+  const SkyTree::DominatorSums sums = tree->ExactDominators(e.pos, e.seq);
+  const double exact_total = sums.newer_log + sums.older_log;
+  const double exact_pold = exact_total - exact_pnew;
+
+  const double drift_new = std::abs(view.pnew_log - exact_pnew);
+  const double drift_old = std::abs(view.pold_log - exact_pold);
+  report_.max_drift = std::max({report_.max_drift, drift_new, drift_old});
+
+  const double exact_psky = std::log(ClampProb(e.prob)) + exact_total;
+  const int exact_band = tree->BandOfLog(exact_psky);
+  const bool drifted =
+      drift_new > options_.tolerance || drift_old > options_.tolerance;
+  const bool band_wrong = exact_band != view.band;
+  if (drifted) ++report_.drift_beyond_tolerance;
+  if (!drifted && !band_wrong) return true;
+
+  if (options_.mode != AuditMode::kRepair) {
+    ++report_.violations_unrepaired;
+    return false;
+  }
+  const SkyTree::RepairOutcome outcome = op_->mutable_tree()->RepairElement(
+      e.pos, e.seq, exact_pnew, exact_pold);
+  ++report_.repairs_applied;
+  if (outcome.found && outcome.old_band != outcome.new_band) {
+    ++report_.band_flips_prevented;
+  }
+  return true;
+}
+
+void AuditManager::RunSliceAudit() {
+  const std::vector<UncertainElement> window = window_();
+  if (window.empty()) return;
+  for (int k = 0; k < options_.elements_per_audit; ++k) {
+    AuditOne(window, static_cast<size_t>(cursor_ % window.size()));
+    ++cursor_;
+  }
+}
+
+uint64_t AuditManager::AuditAll() {
+  const std::vector<UncertainElement> window = window_();
+  const uint64_t before = report_.violations_unrepaired;
+  for (size_t idx = 0; idx < window.size(); ++idx) AuditOne(window, idx);
+  return report_.violations_unrepaired - before;
+}
+
+bool AuditManager::RunOracleCheck() {
+  ++report_.oracle_replays;
+  const std::vector<UncertainElement> window = window_();
+  auto replay = [&]() {
+    NaiveSkylineOperator oracle(op_->dims(), op_->threshold());
+    for (const UncertainElement& e : window) oracle.Insert(e);
+    return SkylineSeqs(oracle.Skyline());
+  };
+  const std::vector<uint64_t> want = replay();
+  if (SkylineSeqs(op_->Skyline()) == want) return true;
+
+  // Escalate: a q-skyline disagreement means some candidate's band is
+  // wrong. Renormalize everything and re-compare; only a disagreement that
+  // survives an exact sweep is a genuine (unrepairable) violation.
+  if (options_.mode == AuditMode::kRepair) {
+    AuditAll();
+    if (SkylineSeqs(op_->Skyline()) == want) return true;
+  }
+  ++report_.oracle_mismatches;
+  ++report_.violations_unrepaired;
+  return false;
+}
+
+bool AuditManager::Step() {
+  ++report_.steps_seen;
+  if (options_.mode == AuditMode::kOff) return true;
+  const uint64_t before = report_.violations_unrepaired;
+  if (options_.audit_every > 0 &&
+      report_.steps_seen % options_.audit_every == 0) {
+    RunSliceAudit();
+  }
+  if (options_.oracle_every > 0 &&
+      report_.steps_seen % options_.oracle_every == 0) {
+    RunOracleCheck();
+  }
+  return report_.violations_unrepaired == before;
+}
+
+// ---------------------------------------------------------------------------
+// Crash quarantine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kQuarantineMagic[8] = {'P', 'S', 'K', 'Y', 'Q', 'R', 'T', 'N'};
+constexpr uint32_t kQuarantineVersion = 1;
+constexpr size_t kQuarantineHeaderSize = 24;
+constexpr uint64_t kMaxQuarantineString = 1 << 20;
+
+std::string EncodeQuarantine(const QuarantineDump& dump) {
+  std::string payload;
+  wire::AppendString(&payload, dump.producer.empty() ? BuildInfoString()
+                                                     : dump.producer);
+  wire::AppendString(&payload, dump.reason);
+  const AuditReport& r = dump.report;
+  wire::AppendU64(&payload, r.steps_seen);
+  wire::AppendU64(&payload, r.elements_audited);
+  wire::AppendF64(&payload, r.max_drift);
+  wire::AppendU64(&payload, r.drift_beyond_tolerance);
+  wire::AppendU64(&payload, r.repairs_applied);
+  wire::AppendU64(&payload, r.band_flips_prevented);
+  wire::AppendU64(&payload, r.false_evictions);
+  wire::AppendU64(&payload, r.oracle_replays);
+  wire::AppendU64(&payload, r.oracle_mismatches);
+  wire::AppendU64(&payload, r.violations_unrepaired);
+  // The window state rides along as a complete embedded checkpoint, so
+  // post-mortem tooling can replay it with the ordinary restore path.
+  const std::string checkpoint = EncodeCheckpoint(dump.state);
+  wire::AppendU64(&payload, checkpoint.size());
+  payload += checkpoint;
+
+  std::string out;
+  out.reserve(kQuarantineHeaderSize + payload.size());
+  out.append(kQuarantineMagic, sizeof kQuarantineMagic);
+  wire::AppendU32(&out, kQuarantineVersion);
+  wire::AppendU32(&out, Crc32(payload.data(), payload.size()));
+  wire::AppendU64(&out, payload.size());
+  out += payload;
+  return out;
+}
+
+bool FailQ(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool DecodeQuarantine(std::string_view bytes, QuarantineDump* out,
+                      std::string* error) {
+  if (bytes.size() < kQuarantineHeaderSize) {
+    return FailQ(error, "quarantine file truncated in header");
+  }
+  if (std::memcmp(bytes.data(), kQuarantineMagic, sizeof kQuarantineMagic) !=
+      0) {
+    return FailQ(error, "bad quarantine magic (not a quarantine file?)");
+  }
+  wire::Cursor header(bytes.substr(sizeof kQuarantineMagic));
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  header.ReadU32(&version);
+  header.ReadU32(&crc);
+  header.ReadU64(&payload_size);
+  if (version != kQuarantineVersion) {
+    return FailQ(error, "unsupported quarantine version " +
+                            std::to_string(version));
+  }
+  const std::string_view payload = bytes.substr(kQuarantineHeaderSize);
+  if (payload.size() != payload_size) {
+    return FailQ(error, "quarantine payload size mismatch");
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return FailQ(error, "quarantine CRC mismatch (corrupted payload)");
+  }
+
+  QuarantineDump dump;
+  wire::Cursor c(payload);
+  uint64_t checkpoint_size = 0;
+  AuditReport& r = dump.report;
+  if (!c.ReadString(&dump.producer, kMaxQuarantineString) ||
+      !c.ReadString(&dump.reason, kMaxQuarantineString) ||
+      !c.ReadU64(&r.steps_seen) || !c.ReadU64(&r.elements_audited) ||
+      !c.ReadF64(&r.max_drift) || !c.ReadU64(&r.drift_beyond_tolerance) ||
+      !c.ReadU64(&r.repairs_applied) || !c.ReadU64(&r.band_flips_prevented) ||
+      !c.ReadU64(&r.false_evictions) || !c.ReadU64(&r.oracle_replays) ||
+      !c.ReadU64(&r.oracle_mismatches) ||
+      !c.ReadU64(&r.violations_unrepaired) || !c.ReadU64(&checkpoint_size)) {
+    return FailQ(error, "quarantine payload truncated in fixed fields");
+  }
+  std::string checkpoint;
+  if (!c.ReadBytes(&checkpoint, checkpoint_size) || c.remaining() != 0) {
+    return FailQ(error, "quarantine embedded checkpoint size mismatch");
+  }
+  std::string ckpt_error;
+  if (!DecodeCheckpoint(checkpoint, &dump.state, &ckpt_error)) {
+    return FailQ(error, "quarantine embedded checkpoint: " + ckpt_error);
+  }
+  *out = std::move(dump);
+  return true;
+}
+
+}  // namespace
+
+std::string QuarantineFileName(uint64_t elements_consumed) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "quarantine-%020llu.pskyq",
+                static_cast<unsigned long long>(elements_consumed));
+  return buf;
+}
+
+bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
+                         std::string* error) {
+  const std::string bytes = EncodeQuarantine(dump);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return FailQ(error, "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return FailQ(error, "short write to " + tmp);
+  }
+  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    return FailQ(error, "cannot flush " + tmp + ": " + std::strerror(errno));
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return FailQ(error, "cannot rename " + tmp + " to " + path + ": " +
+                            std::strerror(errno));
+  }
+  return true;
+}
+
+bool ReadQuarantineFile(const std::string& path, QuarantineDump* out,
+                        std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return FailQ(error, "cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return FailQ(error, "cannot read " + path);
+  std::string decode_error;
+  if (!DecodeQuarantine(bytes, out, &decode_error)) {
+    return FailQ(error, path + ": " + decode_error);
+  }
+  return true;
+}
+
+}  // namespace psky

@@ -1,0 +1,184 @@
+// Online state-integrity auditing for the SSKY operator.
+//
+// SSKY's probability state is maintained by lazy log-domain addends
+// (sky_tree.h): every arrival and eviction adds or restores factors, so
+// floating-point rounding drifts without bound over an unbounded stream.
+// The paper's minimal-candidate-set guarantees (Theorems 2-5) are exact in
+// real arithmetic but say nothing about accumulated rounding — an element
+// whose P_sky sits near a threshold can silently flip bands. This module
+// keeps a long-running operator provably honest:
+//
+//  1. An *incremental amortized auditor*: every `audit_every` steps it
+//     re-derives exact P_new/P_old for a rotating slice of window
+//     elements — from raw element probabilities only, never from lazy
+//     state — and compares against the operator's materialized values
+//     within a drift tolerance. Sweep cost is O(1) amortized per stream
+//     step for a fixed window size and cadence.
+//  2. *Self-healing repair*: in kRepair mode, drift beyond tolerance (or a
+//     band misclassification) renormalizes the affected leaf path in
+//     place (SkyTree::RepairElement) and recounts. Counters record the
+//     max observed drift, repairs applied, and band flips prevented.
+//  3. A *sampled shadow oracle*: every `oracle_every` steps the current
+//     window is replayed through the naive reference operator and the
+//     reported q-skylines are diffed. A mismatch escalates to a full
+//     audit-and-repair sweep (kRepair) or an unrepaired violation.
+//  4. *Crash quarantine*: on PSKY_CHECK failure or fatal signal, callers
+//     dump window state + audit counters to a post-mortem file that
+//     reuses the checkpoint serializer (WriteQuarantineFile), stamped
+//     with the producing binary's build info.
+//
+// Exactness of the re-derivation: for a live element e, the window W and
+// candidate set S determine the true values —
+//
+//   pnew_log(e) = Σ log(1-P(b))  over b ∈ W, b newer than e, b ≺ e
+//   pold_log(e) = Σ log(1-P(a))  over a ∈ S, a ≺ e   minus the newer
+//                 evicted dominators' factors, i.e. exactly
+//                 (Σ over S dominators) − pnew_log(e)
+//
+// since every newer dominator of a live element is still in the window
+// (windows expire oldest-first) and eviction compensation is booked
+// against P_old (sky_tree.cc Phase C, paper Lemma 2). For an element
+// *evicted* from S the auditor checks eviction soundness instead: its
+// exact P_new must sit below the retention threshold, and stays there
+// because newer dominators only shrink it.
+
+#ifndef PSKY_CORE_AUDIT_H_
+#define PSKY_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/ssky_operator.h"
+#include "stream/element.h"
+
+namespace psky {
+
+/// What the auditor does with what it finds.
+enum class AuditMode {
+  kOff,     ///< auditing disabled; Step() is a no-op
+  kCheck,   ///< detect and count violations, never mutate operator state
+  kRepair,  ///< renormalize drifted elements in place
+};
+
+struct AuditOptions {
+  AuditMode mode = AuditMode::kCheck;
+  /// Steps between slice audits (0 disables the per-element auditor).
+  uint64_t audit_every = 64;
+  /// Window elements re-derived per audit (the rotating slice width).
+  int elements_per_audit = 4;
+  /// Absolute log-domain drift beyond which a value counts as corrupted.
+  /// Rounding accrues ~1 ulp per lazy addend; 1e-7 is orders of magnitude
+  /// above honest drift for any realistic stream yet far below any gap
+  /// that could matter at a threshold.
+  double tolerance = 1e-7;
+  /// Steps between shadow-oracle replays (0 disables the oracle). Each
+  /// replay costs O(window^2); sample accordingly.
+  uint64_t oracle_every = 0;
+};
+
+/// Per-run integrity counters. All monotone; suitable for logging and for
+/// embedding in quarantine dumps.
+struct AuditReport {
+  uint64_t steps_seen = 0;
+  uint64_t elements_audited = 0;
+  /// Largest |materialized - exact| observed in the log domain, over both
+  /// P_new and P_old, including drift below tolerance.
+  double max_drift = 0.0;
+  uint64_t drift_beyond_tolerance = 0;
+  uint64_t repairs_applied = 0;
+  /// Repairs whose element was banded wrong before renormalization — each
+  /// one a q-band misreport that will no longer happen.
+  uint64_t band_flips_prevented = 0;
+  /// Evicted elements whose exact P_new is at or above the retention
+  /// threshold: an unrepairable past misclassification.
+  uint64_t false_evictions = 0;
+  uint64_t oracle_replays = 0;
+  /// Oracle disagreements that survived escalation (see class comment).
+  uint64_t oracle_mismatches = 0;
+  /// Total violations left unrepaired (kCheck-mode drift, false
+  /// evictions, and unresolved oracle mismatches). The --strict CLI mode
+  /// aborts when this grows.
+  uint64_t violations_unrepaired = 0;
+};
+
+/// Drives the audit schedule against one SskyOperator.
+///
+/// The window callback returns the current window contents oldest-first
+/// (e.g. CountWindow::Snapshot); it is only invoked on steps where an
+/// audit or oracle check actually fires.
+class AuditManager {
+ public:
+  using WindowSnapshotFn = std::function<std::vector<UncertainElement>()>;
+
+  AuditManager(SskyOperator* op, AuditOptions options,
+               WindowSnapshotFn window);
+
+  /// Advances the audit schedule by one stream step (call after the
+  /// operator processed the element). Returns false when this step
+  /// detected a violation it could not repair.
+  bool Step();
+
+  /// Audits every window element immediately (repairing per mode),
+  /// regardless of cadence. Returns the number of violations left
+  /// unrepaired by this sweep. Used for escalation and final sweeps.
+  uint64_t AuditAll();
+
+  /// Replays the window through the naive reference operator and diffs
+  /// the q-skyline, escalating per mode. Returns true when the skylines
+  /// agree (possibly after repair).
+  bool RunOracleCheck();
+
+  const AuditReport& report() const { return report_; }
+  const AuditOptions& options() const { return options_; }
+
+ private:
+  // Audits window[idx]; window is oldest-first. Returns false on an
+  // unrepaired violation.
+  bool AuditOne(const std::vector<UncertainElement>& window, size_t idx);
+  void RunSliceAudit();
+
+  SskyOperator* op_;
+  AuditOptions options_;
+  WindowSnapshotFn window_;
+  AuditReport report_;
+  uint64_t cursor_ = 0;  // rotating position into the window
+  double q_log_;
+};
+
+// --- crash quarantine ----------------------------------------------------
+
+/// Post-mortem dump: everything needed to reproduce and diagnose the state
+/// a crashed or integrity-violating run died with.
+struct QuarantineDump {
+  /// Build info of the producing binary (filled by WriteQuarantineFile
+  /// when left empty).
+  std::string producer;
+  /// Why the dump was taken ("PSKY_CHECK failed: ...", "signal 11",
+  /// "unrepaired integrity violation", ...).
+  std::string reason;
+  AuditReport report;
+  /// Full window state, reusing the checkpoint serializer — a quarantine
+  /// file can be replayed exactly like a checkpoint.
+  CheckpointState state;
+};
+
+/// Canonical quarantine file name for a dump taken after
+/// `elements_consumed` steps: "quarantine-<20-digit count>.pskyq".
+std::string QuarantineFileName(uint64_t elements_consumed);
+
+/// Writes `dump` to `path` atomically (same temp-and-rename discipline as
+/// checkpoints). Returns false and sets `*error` on I/O failure.
+bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
+                         std::string* error);
+
+/// Reads and validates a quarantine file (magic, version, CRC, embedded
+/// checkpoint). Returns false with `*error` on failure.
+bool ReadQuarantineFile(const std::string& path, QuarantineDump* out,
+                        std::string* error);
+
+}  // namespace psky
+
+#endif  // PSKY_CORE_AUDIT_H_

@@ -9,16 +9,27 @@
 #include <cstring>
 #include <filesystem>
 
+#include "base/build_info.h"
 #include "base/crc32.h"
+#include "base/wire.h"
 #include "geom/point.h"
 
 namespace psky {
 
 namespace {
 
+using wire::AppendF64;
+using wire::AppendString;
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::Cursor;
+
 constexpr char kMagic[8] = {'P', 'S', 'K', 'Y', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 constexpr size_t kHeaderSize = 24;
+// Build-info stamps are short one-liners; anything longer than this in the
+// length field is corruption, not a stamp.
+constexpr uint64_t kMaxProducerBytes = 4096;
 
 CheckpointCrashHook g_crash_hook = nullptr;
 
@@ -27,63 +38,6 @@ CheckpointCrashHook g_crash_hook = nullptr;
 bool SurvivesCrashPoint(CheckpointCrashPoint point) {
   return g_crash_hook == nullptr || g_crash_hook(point);
 }
-
-// --- little-endian primitives -------------------------------------------
-
-void AppendU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void AppendU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void AppendF64(std::string* out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  AppendU64(out, bits);
-}
-
-class Cursor {
- public:
-  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
-
-  bool ReadU8(uint8_t* v) {
-    if (pos_ + 1 > bytes_.size()) return false;
-    *v = static_cast<uint8_t>(bytes_[pos_++]);
-    return true;
-  }
-  bool ReadU32(uint32_t* v) {
-    if (pos_ + 4 > bytes_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return true;
-  }
-  bool ReadU64(uint64_t* v) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return true;
-  }
-  bool ReadF64(double* v) {
-    uint64_t bits;
-    if (!ReadU64(&bits)) return false;
-    std::memcpy(v, &bits, sizeof *v);
-    return true;
-  }
-
-  size_t remaining() const { return bytes_.size() - pos_; }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
 
 bool Fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
@@ -96,7 +50,11 @@ void SetCheckpointCrashHook(CheckpointCrashHook hook) { g_crash_hook = hook; }
 
 std::string EncodeCheckpoint(const CheckpointState& state) {
   std::string payload;
-  payload.reserve(128 + state.window.size() * (24 + 8 * state.dims));
+  payload.reserve(160 + state.window.size() * (24 + 8 * state.dims));
+  // The stamp identifies the *writer*: an explicitly pre-set producer (a
+  // re-encoded foreign snapshot) is preserved, otherwise this binary's.
+  AppendString(&payload,
+               state.producer.empty() ? BuildInfoString() : state.producer);
   AppendU32(&payload, static_cast<uint32_t>(state.dims));
   AppendF64(&payload, state.q);
   payload.push_back(static_cast<char>(state.window_kind));
@@ -162,6 +120,9 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
   uint32_t dims = 0;
   uint8_t kind = 0;
   uint64_t count = 0;
+  if (!c.ReadString(&state.producer, kMaxProducerBytes)) {
+    return Fail(error, "checkpoint build-info stamp truncated or oversized");
+  }
   if (!c.ReadU32(&dims) || !c.ReadF64(&state.q) || !c.ReadU8(&kind) ||
       !c.ReadU64(&state.window_capacity) || !c.ReadF64(&state.time_span) ||
       !c.ReadU64(&state.elements_consumed) ||
@@ -215,6 +176,11 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
 
 bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
                          std::string* error) {
+  // A crash mid-write leaves a ".tmp" behind; clear that wreckage before
+  // producing more so interrupted runs cannot accumulate temp files.
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  RemoveStaleCheckpointTemps(parent.empty() ? "." : parent);
   const std::string bytes = EncodeCheckpoint(state);
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -317,12 +283,33 @@ void PruneCheckpoints(const std::string& dir, size_t keep) {
   for (size_t i = keep; i < files.size(); ++i) {
     std::filesystem::remove(files[i], ec);
   }
+  RemoveStaleCheckpointTemps(dir);
+}
+
+size_t RemoveStaleCheckpointTemps(const std::string& dir) {
+  size_t removed = 0;
+  std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".tmp") {
       std::error_code rm_ec;
-      std::filesystem::remove(entry.path(), rm_ec);
+      if (std::filesystem::remove(entry.path(), rm_ec)) ++removed;
     }
   }
+  return removed;
+}
+
+bool EnsureCheckpointDir(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(dir, ec)) return true;
+  if (std::filesystem::exists(dir, ec)) {
+    *error = dir + " exists but is not a directory";
+    return false;
+  }
+  if (!std::filesystem::create_directories(dir, ec)) {
+    *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  return true;
 }
 
 void ReplayWindow(const CheckpointState& state, WindowSkylineOperator* op) {

@@ -12,10 +12,14 @@
 // File layout (all integers little-endian, doubles IEEE-754 bit patterns):
 //
 //   [0,  8)   magic "PSKYCKPT"
-//   [8, 12)   format version (u32, currently 1)
+//   [8, 12)   format version (u32, currently 2)
 //   [12,16)   CRC-32 of the payload
 //   [16,24)   payload size in bytes (u64)
 //   [24, ..)  payload (see EncodeCheckpoint)
+//
+// Version 2 prepends a build-info stamp (git hash + build type of the
+// producing binary, see base/build_info.h) to the payload so post-mortems
+// can identify which binary wrote a snapshot.
 //
 // Writers persist atomically: the bytes go to "<path>.tmp" which is then
 // renamed over <path>, so a crash mid-write never clobbers an existing
@@ -43,6 +47,11 @@ enum class WindowKind : uint8_t {
 
 /// Complete resumable state of a streaming skyline pipeline.
 struct CheckpointState {
+  /// Build-info stamp of the binary that wrote the snapshot. Filled by
+  /// EncodeCheckpoint (writers need not set it) and recovered by
+  /// DecodeCheckpoint.
+  std::string producer;
+
   // --- operator / window configuration ---------------------------------
   int dims = 2;
   double q = 0.3;
@@ -105,6 +114,18 @@ bool LoadLatestCheckpoint(const std::string& dir, CheckpointState* out,
 /// Deletes all but the `keep` newest checkpoint files in `dir`, plus any
 /// stale ".tmp" leftovers from interrupted writes.
 void PruneCheckpoints(const std::string& dir, size_t keep);
+
+/// Removes ".tmp" leftovers from crashed mid-write attempts without
+/// touching any completed checkpoint. Called on startup and before each
+/// write so interrupted runs cannot accumulate temp wreckage. Returns the
+/// number of files removed; a missing directory is a no-op.
+size_t RemoveStaleCheckpointTemps(const std::string& dir);
+
+/// Creates `dir` (and missing parents) if it does not exist, so a fresh
+/// `--checkpoint-dir` works without manual setup. Returns false with a
+/// diagnostic in `*error` when the path cannot be created or names a
+/// non-directory.
+bool EnsureCheckpointDir(const std::string& dir, std::string* error);
 
 /// Rebuilds operator state by replaying the checkpointed window contents
 /// oldest-first into `op` (which must be freshly constructed with the

@@ -769,6 +769,122 @@ std::vector<SkylineMember> SkyTree::TopK(size_t k) const {
 }
 
 // ---------------------------------------------------------------------------
+// Integrity auditing (src/core/audit.h).
+// ---------------------------------------------------------------------------
+
+SkyTree::AuditView SkyTree::LookupForAudit(const Point& pos,
+                                           uint64_t seq) const {
+  AuditView out;
+  struct Walker {
+    const SkyTree* tree;
+    const Point& pos;
+    uint64_t seq;
+    AuditView* out;
+    bool Walk(const Node* n, double acc_new, double acc_old) {
+      ++tree->counters_.nodes_visited;
+      if (n->count == 0 || !n->mbr.Contains(pos)) return false;
+      const double new_log = acc_new + n->lazy_new_log;
+      const double old_log = acc_old + n->lazy_old_log;
+      if (n->is_leaf) {
+        for (const Elem& e : n->elems) {
+          if (e.seq != seq || !(e.pos == pos)) continue;
+          out->found = true;
+          out->prob = e.prob;
+          out->pnew_log = e.pnew_log + new_log;
+          out->pold_log = e.pold_log + old_log;
+          out->band = e.band;
+          return true;
+        }
+        return false;
+      }
+      for (const auto& child : n->children) {
+        if (Walk(child.get(), new_log, old_log)) return true;
+      }
+      return false;
+    }
+  };
+  Walker{this, pos, seq, &out}.Walk(root_.get(), 0.0, 0.0);
+  return out;
+}
+
+SkyTree::DominatorSums SkyTree::ExactDominators(const Point& pos,
+                                                uint64_t seq) const {
+  DominatorSums sums;
+  struct Walker {
+    const SkyTree* tree;
+    const Point& pos;
+    uint64_t seq;
+    DominatorSums* sums;
+    void Walk(const Node* n) {
+      ++tree->counters_.nodes_visited;
+      if (n->count == 0) return;
+      // Only subtrees that might contain a dominator of `pos` matter; the
+      // sums are rebuilt purely from element probabilities, so no lazy
+      // push-down is needed (or wanted — the audit must not disturb the
+      // state it is checking).
+      if (ClassifyPointEntry(pos, n->mbr).entry_over_point ==
+          DomRelation::kNone) {
+        return;
+      }
+      if (n->is_leaf) {
+        for (const Elem& e : n->elems) {
+          ++tree->counters_.elements_touched;
+          if (e.seq == seq || !Dominates(e.pos, pos)) continue;
+          if (e.seq > seq) {
+            sums->newer_log += e.log_one_minus_prob;
+          } else {
+            sums->older_log += e.log_one_minus_prob;
+          }
+        }
+        return;
+      }
+      for (const auto& child : n->children) Walk(child.get());
+    }
+  };
+  Walker{this, pos, seq, &sums}.Walk(root_.get());
+  return sums;
+}
+
+bool SkyTree::RepairRec(Node* n, const Point& pos, uint64_t seq,
+                        double pnew_log, double pold_log,
+                        RepairOutcome* out) {
+  ++counters_.nodes_visited;
+  if (n->count == 0 || !n->mbr.Contains(pos)) return false;
+  PushDown(n);
+  if (n->is_leaf) {
+    for (Elem& e : n->elems) {
+      if (e.seq != seq || !(e.pos == pos)) continue;
+      out->found = true;
+      out->old_band = e.band;
+      out->value_changed =
+          e.pnew_log != pnew_log || e.pold_log != pold_log;
+      e.pnew_log = pnew_log;
+      e.pold_log = pold_log;
+      RebandElem(&e);
+      out->new_band = e.band;
+      RecomputeProbAgg(n);
+      return true;
+    }
+    return false;
+  }
+  for (auto& child : n->children) {
+    if (RepairRec(child.get(), pos, seq, pnew_log, pold_log, out)) {
+      RecomputeProbAgg(n);
+      return true;
+    }
+  }
+  return false;
+}
+
+SkyTree::RepairOutcome SkyTree::RepairElement(const Point& pos, uint64_t seq,
+                                              double pnew_log,
+                                              double pold_log) {
+  RepairOutcome out;
+  RepairRec(root_.get(), pos, seq, pnew_log, pold_log, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Invariant validation (tests only).
 // ---------------------------------------------------------------------------
 

@@ -149,6 +149,49 @@ class SkyTree {
 
   const Counters& counters() const { return counters_; }
 
+  // --- integrity auditing (see src/core/audit.h) ------------------------
+  // The lazy log-domain bookkeeping accumulates one rounding error per
+  // applied addend; over a long stream an element near a threshold can
+  // silently land in the wrong band. These hooks let an external auditor
+  // re-derive exact values and renormalize drifted elements in place.
+
+  /// Materialized probability state of one live element, fetched by
+  /// identity. `found` is false when (pos, seq) is not in S_{N,q}.
+  struct AuditView {
+    bool found = false;
+    double prob = 0.0;
+    double pnew_log = 0.0;  ///< materialized (all ancestor lazies applied)
+    double pold_log = 0.0;
+    int band = 0;
+  };
+  AuditView LookupForAudit(const Point& pos, uint64_t seq) const;
+
+  /// Exact Σ log(1 - P(a)) over live candidates a ≠ (pos, seq) that
+  /// dominate `pos`, split by arrival order relative to `seq`. Computed by
+  /// fresh traversal from element probabilities only — no lazy state is
+  /// consulted, so the result is immune to accumulated drift.
+  struct DominatorSums {
+    double newer_log = 0.0;  ///< dominators with a.seq > seq
+    double older_log = 0.0;  ///< dominators with a.seq < seq
+  };
+  DominatorSums ExactDominators(const Point& pos, uint64_t seq) const;
+
+  /// Overwrites the materialized P_new/P_old of element (pos, seq), re-bands
+  /// it, and renormalizes the probability aggregates along the leaf path.
+  /// Used by the audit subsystem to repair drift (and by fault-injection
+  /// tests to plant it). Structure (MBRs, counts, P_noc) is untouched.
+  struct RepairOutcome {
+    bool found = false;
+    bool value_changed = false;  ///< stored values differed bitwise
+    int old_band = 0;
+    int new_band = 0;
+  };
+  RepairOutcome RepairElement(const Point& pos, uint64_t seq,
+                              double pnew_log, double pold_log);
+
+  /// Band a materialized log P_sky value classifies into (1-based).
+  int BandOfLog(double psky_log) const { return BandOf(psky_log); }
+
   /// Validates every structural and aggregate invariant by recomputation;
   /// aborts on violation. Test helper (O(n) per call, O(n^2) with
   /// `deep` = true, which also re-derives every band from scratch).
@@ -232,6 +275,8 @@ class SkyTree {
   bool RemoveRec(Node* n, const Point& pos, uint64_t seq, Elem* removed,
                  std::vector<Elem>* orphans);
   void ShrinkRoot();
+  bool RepairRec(Node* n, const Point& pos, uint64_t seq, double pnew_log,
+                 double pold_log, RepairOutcome* out);
 
   void ForEachNode(const Node* n, double acc_new_log, double acc_old_log,
                    const std::function<void(const Elem&, double pnew_log,

@@ -39,6 +39,11 @@ class SskyOperator : public WindowSkylineOperator {
   /// Underlying tree, exposed for instrumentation and invariant checks.
   const SkyTree& tree() const { return tree_; }
 
+  /// Mutable tree access for the integrity subsystem (core/audit.h): the
+  /// auditor repairs drifted per-element probability state in place via
+  /// SkyTree::RepairElement. Not part of the operator interface.
+  SkyTree* mutable_tree() { return &tree_; }
+
   /// Net skyline membership changes since the last call, for push-style
   /// consumers of the continuous query. Requires
   /// SkyTree::Options::record_events (otherwise both lists stay empty).

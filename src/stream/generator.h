@@ -9,6 +9,7 @@
 #ifndef PSKY_STREAM_GENERATOR_H_
 #define PSKY_STREAM_GENERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -16,6 +16,7 @@
 #ifndef PSKY_STREAM_STOCK_H_
 #define PSKY_STREAM_STOCK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/build_info.h"
 #include "base/random.h"
 #include "core/checkpoint.h"
 #include "core/snapshot.h"
@@ -310,6 +311,76 @@ TEST(CheckpointReplay, RandomStreamsMatchOracleAndContinuousOperator) {
     }
     replayed.tree().CheckInvariants(true);
   }
+}
+
+TEST(CheckpointFormat, ProducerStampIsEmbeddedAndRecovered) {
+  const CheckpointState state = MakeState(2, 5, 21);
+  CheckpointState got;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(state), &got, &error))
+      << error;
+  // An empty producer is stamped with this binary's build info on encode.
+  EXPECT_EQ(got.producer, BuildInfoString());
+  EXPECT_NE(got.producer.find("psky "), std::string::npos);
+
+  // A pre-set producer (a re-encoded foreign snapshot) is preserved.
+  CheckpointState foreign = MakeState(2, 5, 21);
+  foreign.producer = "psky deadbeef0123 (Release)";
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(foreign), &got, &error))
+      << error;
+  EXPECT_EQ(got.producer, foreign.producer);
+}
+
+TEST(CheckpointDir, StaleTempsAreSweptOnWriteAndOnDemand) {
+  const std::string dir = TempDir("stale_tmp");
+  // Wreckage from two hypothetical earlier crashes, plus one unrelated
+  // file that must survive the sweep.
+  { std::ofstream f(dir + "/" + CheckpointFileName(10) + ".tmp"); f << "x"; }
+  { std::ofstream f(dir + "/" + CheckpointFileName(20) + ".tmp"); f << "y"; }
+  { std::ofstream f(dir + "/README.txt"); f << "keep me"; }
+
+  std::string error;
+  ASSERT_TRUE(WriteCheckpointFile(dir + "/" + CheckpointFileName(30),
+                                  MakeState(2, 5, 22), &error))
+      << error;
+
+  size_t temps = 0, others = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") ++temps;
+    if (entry.path().filename() == "README.txt") ++others;
+  }
+  EXPECT_EQ(temps, 0u) << "pre-seeded stale temps must be removed";
+  EXPECT_EQ(others, 1u);
+  EXPECT_TRUE(fs::exists(dir + "/" + CheckpointFileName(30)));
+
+  // Direct sweep: counts what it removes, leaves everything else alone.
+  { std::ofstream f(dir + "/orphan.tmp"); f << "z"; }
+  EXPECT_EQ(RemoveStaleCheckpointTemps(dir), 1u);
+  EXPECT_EQ(RemoveStaleCheckpointTemps(dir), 0u);
+  EXPECT_TRUE(fs::exists(dir + "/README.txt"));
+
+  // A directory that does not exist is a no-op, not an error.
+  EXPECT_EQ(RemoveStaleCheckpointTemps(dir + "/nope"), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointDir, EnsureCreatesMissingDirsAndRejectsFiles) {
+  const std::string base = TempDir("ensure_dir");
+  std::string error;
+
+  // Nested path created in one call; idempotent on the second.
+  const std::string nested = base + "/a/b";
+  EXPECT_TRUE(EnsureCheckpointDir(nested, &error)) << error;
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_TRUE(EnsureCheckpointDir(nested, &error)) << error;
+
+  // A plain file under the requested name is refused, not clobbered.
+  const std::string file_path = base + "/not_a_dir";
+  { std::ofstream f(file_path); f << "x"; }
+  EXPECT_FALSE(EnsureCheckpointDir(file_path, &error));
+  EXPECT_NE(error.find("not a directory"), std::string::npos) << error;
+  EXPECT_TRUE(fs::is_regular_file(file_path));
+  fs::remove_all(base);
 }
 
 }  // namespace

@@ -148,6 +148,35 @@ TEST(CsvReader, GoodLinesResetTheConsecutiveErrorBudget) {
   EXPECT_EQ(reader.skipped_lines(), 4u);
 }
 
+TEST(CsvReader, BudgetResetAfterGoodLineIsFullNotResidual) {
+  // The reset must re-arm the whole budget: after a good line, exactly
+  // `max` consecutive errors are again tolerable, any repeated number of
+  // times. A residual-budget bug (counter decremented but never cleared)
+  // fails the later bursts.
+  std::string input;
+  for (int burst = 0; burst < 4; ++burst) {
+    input += "bad\nbad\nbad\n";  // exactly max_consecutive_errors
+    input += "1,2,0.5\n";
+  }
+  std::istringstream in(input);
+  CsvReaderOptions options;
+  options.policy = BadInputPolicy::kSkip;
+  options.max_consecutive_errors = 3;
+  CsvElementReader reader(&in, 2, options);
+  size_t elements = 0;
+  while (reader.Next()) ++elements;
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(elements, 4u);
+  EXPECT_EQ(reader.skipped_lines(), 12u);
+
+  // One error past the re-armed budget still trips it.
+  std::istringstream in2("1,2,0.5\nbad\nbad\nbad\nbad\n3,4,0.25\n");
+  CsvElementReader reader2(&in2, 2, options);
+  ASSERT_TRUE(reader2.Next().has_value());
+  EXPECT_FALSE(reader2.Next().has_value());
+  EXPECT_FALSE(reader2.ok());
+}
+
 TEST(CsvReader, ClampPolicySalvagesOutOfRangeProbabilities) {
   std::istringstream in("1,2,1.5\n3,4,-0.25\n5,6,0.5\nbad,line,1\n");
   CsvReaderOptions options;

@@ -135,6 +135,9 @@ RunResult ResumeAndFinish(SpatialDistribution dist, const std::string& dir) {
   SskyOperator op(kDims, kQ);
   CountWindow window(kWindow);
   ReplayWindow(state, &op);
+  // The rebuilt tree must be structurally sound before any new element
+  // touches it, or resume bugs masquerade as stream bugs downstream.
+  op.tree().CheckInvariants(/*deep=*/true);
   for (const UncertainElement& e : state.window) window.Push(e);
 
   StreamGenerator gen(ConfigFor(dist));

@@ -323,6 +323,37 @@ TEST(TimeWindow, ClampPolicyRaisesLateTimestampsToWatermark) {
   EXPECT_EQ(w.size(), 1u);
 }
 
+TEST(TimeWindow, ClampPolicyTimestampEqualToWatermarkIsNotALateArrival) {
+  // Boundary semantics: lateness is strict (time < watermark). An element
+  // whose timestamp ties the watermark is in order — accepted verbatim,
+  // no repair counted — even right after a genuine clamp.
+  TimeWindow w(10.0, TimestampPolicy::kClampToWatermark);
+  std::vector<UncertainElement> expired;
+  UncertainElement e;
+  e.seq = 0;
+  e.time = 8.0;
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+
+  e.seq = 1;
+  e.time = 8.0;  // == watermark: in order, not clamped
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(e.time, 8.0);
+  EXPECT_EQ(w.clamped(), 0u);
+  EXPECT_EQ(w.watermark(), 8.0);
+
+  e.seq = 2;
+  e.time = 7.999;  // strictly behind: repaired and counted
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(e.time, 8.0);
+  EXPECT_EQ(w.clamped(), 1u);
+
+  e.seq = 3;
+  e.time = 8.0;  // ties the clamped value: still not a late arrival
+  EXPECT_TRUE(w.TryPush(&e, &expired));
+  EXPECT_EQ(w.clamped(), 1u);
+  EXPECT_EQ(w.size(), 4u);
+}
+
 TEST(TimeWindow, OutOfOrderStreamKeepsOrderingInvariantUnderClamp) {
   // A jittered stream: every element lands, the buffer stays
   // non-decreasing in time, and the watermark never moves backwards.

@@ -19,12 +19,23 @@
 // SIGINT/SIGTERM drain gracefully: a final checkpoint is flushed (when a
 // checkpoint dir is configured) and counters are reported before exit.
 //
+// Integrity auditing (see docs/operations.md):
+//   --audit-mode off|check|repair  what to do with detected drift
+//   --audit-every K          re-derive a slice of exact values every K steps
+//   --audit-oracle-every K   replay the window through the naive oracle
+//   --strict                 exit 4 on any violation the auditor could not
+//                            repair (a quarantine dump is written first)
+// On PSKY_CHECK failure or a fatal signal the window state and audit
+// counters are dumped to a quarantine file in the checkpoint dir (or the
+// working directory) for post-mortem replay.
+//
 // Output (stdout), one line per report:
 //   counts:  step=<n> candidates=<c> skyline=<s>
 //   deltas:  +<seq> / -<seq> skyline membership changes as they happen
 //   final:   the full skyline once, at end of stream
 // Exit codes: 0 ok (including graceful signal stop), 1 bad usage or
-// configuration, 2 malformed input, 3 checkpoint I/O failure.
+// configuration, 2 malformed input, 3 checkpoint I/O failure, 4 unrepaired
+// integrity violation under --strict.
 
 #include <climits>
 #include <csignal>
@@ -32,11 +43,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "base/build_info.h"
+#include "base/check.h"
+#include "core/audit.h"
 #include "core/checkpoint.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
@@ -68,6 +83,13 @@ struct Args {
   bool resume = false;
   psky::BadInputPolicy on_bad_input = psky::BadInputPolicy::kFail;
   psky::TimestampPolicy ooo_policy = psky::TimestampPolicy::kReject;
+  psky::AuditMode audit_mode = psky::AuditMode::kOff;
+  uint64_t audit_every = 64;
+  uint64_t audit_oracle_every = 0;
+  bool strict = false;
+  // Test hook: at this step, corrupt one live element's probability state
+  // in place, exactly the kind of damage the auditor exists to catch.
+  uint64_t inject_drift_at = 0;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -82,7 +104,11 @@ struct Args {
                "                   [--checkpoint-dir DIR [--checkpoint-every "
                "K] [--resume]]\n"
                "                   [--on-bad-input fail|skip|clamp] "
-               "[--ooo-policy reject|clamp]\n");
+               "[--ooo-policy reject|clamp]\n"
+               "                   [--audit-mode off|check|repair] "
+               "[--audit-every K]\n"
+               "                   [--audit-oracle-every K] [--strict] "
+               "[--version]\n");
   std::exit(1);
 }
 
@@ -175,6 +201,28 @@ Args Parse(int argc, char** argv) {
       } else {
         Usage("--ooo-policy must be reject or clamp");
       }
+    } else if (flag == "--audit-mode") {
+      const std::string v = need(i++);
+      if (v == "off") {
+        args.audit_mode = psky::AuditMode::kOff;
+      } else if (v == "check") {
+        args.audit_mode = psky::AuditMode::kCheck;
+      } else if (v == "repair") {
+        args.audit_mode = psky::AuditMode::kRepair;
+      } else {
+        Usage("--audit-mode must be off, check or repair");
+      }
+    } else if (flag == "--audit-every") {
+      args.audit_every = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--audit-oracle-every") {
+      args.audit_oracle_every = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--strict") {
+      args.strict = true;
+    } else if (flag == "--inject-drift-at") {
+      args.inject_drift_at = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--version") {
+      std::printf("%s\n", psky::BuildInfoString().c_str());
+      std::exit(0);
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -192,6 +240,9 @@ Args Parse(int argc, char** argv) {
   if ((args.resume || args.checkpoint_every > 0) &&
       args.checkpoint_dir.empty()) {
     Usage("--resume / --checkpoint-every require --checkpoint-dir");
+  }
+  if (args.strict && args.audit_mode == psky::AuditMode::kOff) {
+    Usage("--strict requires --audit-mode check or repair");
   }
   return args;
 }
@@ -284,10 +335,84 @@ struct CarriedCounters {
   uint64_t ooo_dropped = 0;
 };
 
+// --- crash quarantine ----------------------------------------------------
+// On PSKY_CHECK failure or a fatal signal, dump the window state and audit
+// counters for post-mortem replay. Best-effort by design: the process is
+// already dying, so the dump allocates and does file I/O; the reentrancy
+// guard in CheckFailed plus re-raising with SIG_DFL bound the damage if the
+// dump itself faults.
+
+struct PostMortemContext {
+  std::function<psky::CheckpointState()> snapshot;
+  const psky::AuditManager* audit = nullptr;
+  std::string dir = ".";
+};
+PostMortemContext g_postmortem;
+
+void DumpQuarantine(const std::string& reason) {
+  if (!g_postmortem.snapshot) return;
+  // One-shot: a CHECK failure aborts, and the SIGABRT handler must not
+  // dump a second time (nor should a fault inside the dump recurse).
+  const auto snapshot = std::move(g_postmortem.snapshot);
+  g_postmortem.snapshot = nullptr;
+  psky::QuarantineDump dump;
+  dump.reason = reason;
+  if (g_postmortem.audit != nullptr) dump.report = g_postmortem.audit->report();
+  dump.state = snapshot();
+  const std::string path =
+      g_postmortem.dir + "/" +
+      psky::QuarantineFileName(dump.state.elements_consumed);
+  std::string error;
+  if (psky::WriteQuarantineFile(path, dump, &error)) {
+    std::fprintf(stderr, "quarantine dump written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: quarantine dump failed: %s\n", error.c_str());
+  }
+}
+
+void QuarantineOnCheckFailure(const char* condition, const char* file,
+                              int line) {
+  char reason[512];
+  std::snprintf(reason, sizeof reason, "PSKY_CHECK failed: %s at %s:%d",
+                condition, file, line);
+  DumpQuarantine(reason);
+}
+
+void QuarantineOnFatalSignal(int signum) {
+  std::signal(signum, SIG_DFL);  // a second fault dies immediately
+  char reason[64];
+  std::snprintf(reason, sizeof reason, "fatal signal %d", signum);
+  DumpQuarantine(reason);
+  std::raise(signum);
+}
+
+void InstallQuarantineHandlers() {
+  psky::SetCheckFailureHandler(&QuarantineOnCheckFailure);
+  for (int sig : {SIGSEGV, SIGFPE, SIGBUS, SIGILL, SIGABRT}) {
+    std::signal(sig, &QuarantineOnFatalSignal);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+
+  if (!args.checkpoint_dir.empty()) {
+    std::string dir_error;
+    if (!psky::EnsureCheckpointDir(args.checkpoint_dir, &dir_error)) {
+      std::fprintf(stderr, "error: checkpoint dir: %s\n", dir_error.c_str());
+      return 3;
+    }
+    // A crash mid-write leaves "*.tmp" wreckage behind; sweep it before
+    // this run starts producing its own files.
+    const size_t removed =
+        psky::RemoveStaleCheckpointTemps(args.checkpoint_dir);
+    if (removed > 0) {
+      std::fprintf(stderr, "removed %zu stale checkpoint temp file(s)\n",
+                   removed);
+    }
+  }
 
   // --- resume: load the newest valid checkpoint -------------------------
   psky::CheckpointState resume_state;
@@ -360,8 +485,7 @@ int main(int argc, char** argv) {
 
   Source source(args, resumed ? &resume_state : nullptr);
 
-  uint64_t checkpoints_written = 0;
-  auto write_checkpoint = [&]() -> bool {
+  auto build_state = [&]() -> psky::CheckpointState {
     psky::CheckpointState state;
     state.dims = args.dims;
     state.q = args.q;
@@ -391,10 +515,15 @@ int main(int argc, char** argv) {
     state.ooo_dropped =
         carried.ooo_dropped +
         (time_window != nullptr ? time_window->rejected() : 0);
+    return state;
+  };
+
+  uint64_t checkpoints_written = 0;
+  auto write_checkpoint = [&]() -> bool {
     const std::string path =
         args.checkpoint_dir + "/" + psky::CheckpointFileName(step);
     std::string error;
-    if (!psky::WriteCheckpointFile(path, state, &error)) {
+    if (!psky::WriteCheckpointFile(path, build_state(), &error)) {
       std::fprintf(stderr, "error: checkpoint failed: %s\n", error.c_str());
       return false;
     }
@@ -402,6 +531,20 @@ int main(int argc, char** argv) {
     ++checkpoints_written;
     return true;
   };
+
+  psky::AuditOptions audit_options;
+  audit_options.mode = args.audit_mode;
+  audit_options.audit_every = args.audit_every;
+  audit_options.oracle_every = args.audit_oracle_every;
+  psky::AuditManager audit(&op, audit_options, [&]() {
+    return time_window != nullptr ? time_window->Snapshot()
+                                  : count_window->Snapshot();
+  });
+
+  g_postmortem.snapshot = build_state;
+  g_postmortem.audit = &audit;
+  g_postmortem.dir = args.checkpoint_dir.empty() ? "." : args.checkpoint_dir;
+  InstallQuarantineHandlers();
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
@@ -442,6 +585,36 @@ int main(int argc, char** argv) {
       op.Insert(*element);
     }
     ++step;
+
+    if (args.inject_drift_at != 0 && step == args.inject_drift_at) {
+      // Corrupt the newest live candidate's P_old in place — the class of
+      // damage drift accumulation produces, writ large. P_new is left
+      // alone: it also drives candidate retention, so damaging it can
+      // cause an eviction (unrepairable by design) before the auditor's
+      // next pass.
+      const auto window = time_window != nullptr ? time_window->Snapshot()
+                                                 : count_window->Snapshot();
+      for (auto it = window.rbegin(); it != window.rend(); ++it) {
+        const auto view = op.tree().LookupForAudit(it->pos, it->seq);
+        if (!view.found) continue;
+        op.mutable_tree()->RepairElement(it->pos, it->seq, view.pnew_log,
+                                         view.pold_log - 2.0);
+        std::fprintf(stderr, "injected drift into seq %llu at step %llu\n",
+                     static_cast<unsigned long long>(it->seq),
+                     static_cast<unsigned long long>(step));
+        break;
+      }
+    }
+
+    if (!audit.Step() && args.strict) {
+      char reason[96];
+      std::snprintf(reason, sizeof reason,
+                    "unrepaired integrity violation at step %llu",
+                    static_cast<unsigned long long>(step));
+      std::fprintf(stderr, "error: %s\n", reason);
+      DumpQuarantine(reason);
+      return 4;
+    }
 
     if (args.emit == "deltas") {
       const auto delta = op.TakeSkylineDelta();
@@ -511,6 +684,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %llu checkpoint(s) to %s\n",
                  static_cast<unsigned long long>(checkpoints_written),
                  args.checkpoint_dir.c_str());
+  }
+  if (args.audit_mode != psky::AuditMode::kOff) {
+    const psky::AuditReport& r = audit.report();
+    std::fprintf(
+        stderr,
+        "audit: %llu audited, max drift %.3g, %llu beyond tolerance, "
+        "%llu repairs (%llu band flips prevented), %llu false evictions, "
+        "%llu oracle replays (%llu mismatches), %llu unrepaired\n",
+        static_cast<unsigned long long>(r.elements_audited), r.max_drift,
+        static_cast<unsigned long long>(r.drift_beyond_tolerance),
+        static_cast<unsigned long long>(r.repairs_applied),
+        static_cast<unsigned long long>(r.band_flips_prevented),
+        static_cast<unsigned long long>(r.false_evictions),
+        static_cast<unsigned long long>(r.oracle_replays),
+        static_cast<unsigned long long>(r.oracle_mismatches),
+        static_cast<unsigned long long>(r.violations_unrepaired));
+    if (args.strict && r.violations_unrepaired > 0) {
+      DumpQuarantine("unrepaired integrity violation at end of stream");
+      return 4;
+    }
   }
   if (stopped_by_signal) {
     std::fprintf(stderr, "stopped by signal after %llu elements\n",
