@@ -1,0 +1,184 @@
+// Hot-path throughput harness with a machine-readable result file.
+//
+// Drives the SSKY operator over the paper's Fig. 9 configuration (d = 3,
+// q = 0.3, count window) for each spatial distribution (anti / inde /
+// corr) using the batched stream path, and writes BENCH_hotpath.json:
+// sustained elements/second plus p50/p99 per-element step latency per
+// workload, stamped with the dominance-kernel variant the CPU dispatched
+// to. tools/bench_report.py validates the file and diffs two of them with
+// a regression gate; the repository tracks a full-scale baseline at the
+// root.
+//
+//   bench_hotpath [output.json]     (default: BENCH_hotpath.json)
+//
+// Scale comes from PSKY_BENCH_SCALE (tiny|quick|full) as for every other
+// bench binary. Latency percentiles are computed from per-element times
+// of kBatch-element StepBatch calls measured from the moment the window
+// is full (steady state).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/timer.h"
+#include "bench/bench_common.h"
+#include "core/ssky_operator.h"
+#include "geom/dominance_kernel.h"
+#include "stream/generator.h"
+
+namespace psky::bench {
+namespace {
+
+constexpr int kDims = 3;
+constexpr double kQ = 0.3;
+constexpr size_t kBatch = 64;
+
+struct WorkloadResult {
+  std::string name;
+  double elements_per_second = 0.0;
+  double total_seconds = 0.0;
+  double p50_step_us = 0.0;
+  double p99_step_us = 0.0;
+  size_t max_candidates = 0;
+  size_t max_skyline = 0;
+};
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1) + 0.5);
+  std::nth_element(samples->begin(),
+                   samples->begin() + static_cast<ptrdiff_t>(idx),
+                   samples->end());
+  return (*samples)[idx];
+}
+
+WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
+                           const Scale& scale) {
+  StreamConfig cfg;
+  cfg.dims = kDims;
+  cfg.spatial = spatial;
+  cfg.seed = 42;
+  StreamGenerator gen(cfg);
+
+  SskyOperator op(kDims, kQ);
+  StreamProcessor proc(&op, scale.w);
+
+  WorkloadResult result;
+  result.name = name;
+  std::vector<UncertainElement> batch;
+  batch.reserve(kBatch);
+  std::vector<double> step_us;
+  step_us.reserve(scale.n / kBatch + 1);
+
+  Timer total;
+  size_t fed = 0;
+  bool steady = false;
+  while (fed < scale.n) {
+    const size_t take = std::min(kBatch, scale.n - fed);
+    batch.clear();
+    for (size_t i = 0; i < take; ++i) batch.push_back(gen.Next());
+    // Percentiles only sample steady state: the fill phase has no
+    // expiries and would skew them optimistically.
+    if (!steady && fed >= scale.w) steady = true;
+    Timer t;
+    proc.StepBatch(batch);
+    if (steady) {
+      step_us.push_back(t.ElapsedMicros() / static_cast<double>(take));
+    }
+    fed += take;
+    if (op.candidate_count() > result.max_candidates) {
+      result.max_candidates = op.candidate_count();
+    }
+    if (op.skyline_count() > result.max_skyline) {
+      result.max_skyline = op.skyline_count();
+    }
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  result.elements_per_second =
+      static_cast<double>(scale.n) / result.total_seconds;
+  result.p50_step_us = Percentile(&step_us, 0.50);
+  result.p99_step_us = Percentile(&step_us, 0.99);
+  return result;
+}
+
+void AppendWorkloadJson(std::string* out, const WorkloadResult& r,
+                        bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "    \"%s\": {\n"
+                "      \"elements_per_second\": %.1f,\n"
+                "      \"total_seconds\": %.3f,\n"
+                "      \"p50_step_us\": %.3f,\n"
+                "      \"p99_step_us\": %.3f,\n"
+                "      \"max_candidates\": %zu,\n"
+                "      \"max_skyline\": %zu\n"
+                "    }%s\n",
+                r.name.c_str(), r.elements_per_second, r.total_seconds,
+                r.p50_step_us, r.p99_step_us, r.max_candidates,
+                r.max_skyline, last ? "" : ",");
+  *out += buf;
+}
+
+}  // namespace
+}  // namespace psky::bench
+
+int main(int argc, char** argv) {
+  using namespace psky::bench;
+  const std::string path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  const Scale scale = GetScale();
+  PrintHeader("hot-path throughput (SSKY, d=3, q=0.3, batched)", scale);
+
+  const struct {
+    const char* name;
+    psky::SpatialDistribution spatial;
+  } kWorkloads[] = {
+      {"anti", psky::SpatialDistribution::kAntiCorrelated},
+      {"inde", psky::SpatialDistribution::kIndependent},
+      {"corr", psky::SpatialDistribution::kCorrelated},
+  };
+
+  std::vector<WorkloadResult> results;
+  for (const auto& w : kWorkloads) {
+    WorkloadResult r = RunWorkload(w.name, w.spatial, scale);
+    std::printf(
+        "%-5s %10.0f elem/s  total %7.3fs  p50 %7.3fus  p99 %7.3fus  "
+        "|S|max=%zu |SKY|max=%zu\n",
+        r.name.c_str(), r.elements_per_second, r.total_seconds,
+        r.p50_step_us, r.p99_step_us, r.max_candidates, r.max_skyline);
+    results.push_back(std::move(r));
+  }
+
+  std::string json;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"schema\": \"psky-bench-hotpath-v1\",\n"
+                "  \"scale\": \"%s\",\n"
+                "  \"n\": %zu,\n"
+                "  \"window\": %zu,\n"
+                "  \"dims\": %d,\n"
+                "  \"q\": %.2f,\n"
+                "  \"batch_size\": %zu,\n"
+                "  \"kernel_variant\": \"%s\",\n"
+                "  \"workloads\": {\n",
+                scale.name, scale.n, scale.w, kDims, kQ, kBatch,
+                psky::DominanceKernelVariant());
+  json += buf;
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendWorkloadJson(&json, results[i], i + 1 == results.size());
+  }
+  json += "  }\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (kernel=%s)\n", path.c_str(),
+              psky::DominanceKernelVariant());
+  return 0;
+}

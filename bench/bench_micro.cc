@@ -6,6 +6,7 @@
 
 #include "base/random.h"
 #include "core/msky_operator.h"
+#include "geom/dominance_kernel.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
 #include "rtree/rtree.h"
@@ -76,6 +77,46 @@ void BM_RTreeRangeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RTreeRangeQuery);
+
+// One probe against a full 128-entry SoA leaf block — the sky-tree's
+// innermost loop. `which` selects the portable sweep or the runtime
+// dispatcher (AVX2 where the CPU has it).
+void BM_DominanceKernel(benchmark::State& state, bool dispatch) {
+  constexpr int kDims = 3;
+  constexpr int kStride = 129;  // max_entries + 1, as the sky-tree sizes it
+  constexpr int kCount = 128;
+  const auto pts = RandomPoints(kCount + 1, kDims, 11);
+  std::vector<double> block(static_cast<size_t>(kStride) * kDims);
+  for (int k = 0; k < kDims; ++k) {
+    for (int i = 0; i < kCount; ++i) block[k * kStride + i] = pts[i][k];
+  }
+  const Point& probe = pts[kCount];
+  uint64_t cand[kDominanceKernelMaskWords];
+  uint64_t dominated[kDominanceKernelMaskWords];
+  for (auto _ : state) {
+    if (dispatch) {
+      DominanceBlockCompare(probe.data(), kDims, block.data(), kStride,
+                            kCount, cand, dominated);
+    } else {
+      cand[0] = cand[1] = dominated[0] = dominated[1] = 0;
+      dominance_internal::BlockComparePortable(probe.data(), kDims,
+                                               block.data(), kStride, 0,
+                                               kCount, cand, dominated);
+    }
+    benchmark::DoNotOptimize(cand[0]);
+    benchmark::DoNotOptimize(dominated[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetLabel(dispatch ? DominanceKernelVariant() : "portable");
+}
+void BM_DominanceKernelPortable(benchmark::State& s) {
+  BM_DominanceKernel(s, false);
+}
+void BM_DominanceKernelDispatch(benchmark::State& s) {
+  BM_DominanceKernel(s, true);
+}
+BENCHMARK(BM_DominanceKernelPortable);
+BENCHMARK(BM_DominanceKernelDispatch);
 
 void BM_CertainSkyline(benchmark::State& state, int which) {
   const auto pts =

@@ -1,0 +1,84 @@
+// Fixed-size worker pool for fan-out of independent read-only work.
+//
+// The streaming operators are single-writer by design (the sky-tree is
+// mutated only between queries), but several consumers fan out
+// embarrassingly parallel *read* work: the MSKY operator evaluates k
+// thresholds independently, and the audit subsystem replays a naive
+// oracle over a window snapshot off the hot path. This pool serves those
+// cases: a handful of long-lived std::thread workers, a mutex/condvar
+// guarded deque of type-erased jobs, and a future-returning Async()
+// wrapper. No work stealing, no priorities — job counts here are tiny
+// (tens, not millions) and job bodies are large, so a single lock is
+// nowhere near contention.
+//
+// Threads are joined in the destructor; submitting after Shutdown() (or
+// during destruction) aborts. All public methods are thread-safe.
+
+#ifndef PSKY_BASE_THREAD_POOL_H_
+#define PSKY_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace psky {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget job.
+  void Submit(std::function<void()> job);
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Async(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until every queued and running job has finished. New jobs may
+  /// be submitted concurrently; this returns once the pool is drained.
+  void Wait();
+
+  /// Drains outstanding jobs and joins the workers. Idempotent; called by
+  /// the destructor.
+  void Shutdown();
+
+  /// A sensible default worker count for this machine (hardware
+  /// concurrency, at least 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_THREAD_POOL_H_

@@ -47,9 +47,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/ssky_operator.h"
 #include "stream/element.h"
@@ -77,6 +80,15 @@ struct AuditOptions {
   /// Steps between shadow-oracle replays (0 disables the oracle). Each
   /// replay costs O(window^2); sample accordingly.
   uint64_t oracle_every = 0;
+  /// When set, shadow-oracle replays run asynchronously on this pool: the
+  /// window and the operator's reported skyline are snapshotted on the
+  /// main thread, the O(window^2) naive replay happens on a worker, and
+  /// the verdict is harvested at the next oracle step (or Drain()). A
+  /// stale disagreement is re-confirmed synchronously against the live
+  /// operator before it counts as a violation. The pool must outlive the
+  /// AuditManager. Slice audits always stay on the main thread: they read
+  /// and repair live tree state.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-run integrity counters. All monotone; suitable for logging and for
@@ -116,10 +128,19 @@ class AuditManager {
   AuditManager(SskyOperator* op, AuditOptions options,
                WindowSnapshotFn window);
 
+  /// Blocks on any in-flight asynchronous oracle replay (without counting
+  /// its verdict — a destroyed auditor reports what it has harvested).
+  ~AuditManager();
+
   /// Advances the audit schedule by one stream step (call after the
   /// operator processed the element). Returns false when this step
   /// detected a violation it could not repair.
   bool Step();
+
+  /// Harvests the in-flight asynchronous oracle replay, if any, blocking
+  /// until its verdict is in. Call at end of stream so no replay's result
+  /// is dropped. Returns false on an unrepaired violation.
+  bool Drain();
 
   /// Audits every window element immediately (repairing per mode),
   /// regardless of cadence. Returns the number of violations left
@@ -135,10 +156,24 @@ class AuditManager {
   const AuditOptions& options() const { return options_; }
 
  private:
+  // An asynchronous oracle replay in flight: the skyline the operator
+  // reported at snapshot time, plus the future delivering what the naive
+  // oracle says it should have been.
+  struct PendingOracle {
+    std::vector<uint64_t> reported;
+    std::future<std::vector<uint64_t>> want;
+  };
+
   // Audits window[idx]; window is oldest-first. Returns false on an
   // unrepaired violation.
   bool AuditOne(const std::vector<UncertainElement>& window, size_t idx);
   void RunSliceAudit();
+  // Snapshots window + reported skyline and queues the replay on pool.
+  void LaunchOracleAsync();
+  // Joins pending_oracle_ (if any) and applies its verdict. A stale
+  // mismatch escalates to a synchronous RunOracleCheck against live
+  // state. Returns false on an unrepaired violation.
+  bool HarvestOracle();
 
   SskyOperator* op_;
   AuditOptions options_;
@@ -146,6 +181,7 @@ class AuditManager {
   AuditReport report_;
   uint64_t cursor_ = 0;  // rotating position into the window
   double q_log_;
+  std::optional<PendingOracle> pending_oracle_;
 };
 
 // --- crash quarantine ----------------------------------------------------

@@ -1,9 +1,33 @@
 #include "core/msky_operator.h"
 
 #include <algorithm>
+#include <future>
 #include <utility>
 
 namespace psky {
+
+namespace {
+
+// Runs one independent job per item, either sequentially or fanned out
+// across `pool`. The jobs must be read-only with respect to shared state;
+// results come back in input order either way.
+template <typename Result, typename Job>
+std::vector<Result> FanOut(size_t count, ThreadPool* pool, const Job& job) {
+  std::vector<Result> out(count);
+  if (pool == nullptr || pool->num_threads() <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) out[i] = job(i);
+    return out;
+  }
+  std::vector<std::future<Result>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->Async([&job, i] { return job(i); }));
+  }
+  for (size_t i = 0; i < count; ++i) out[i] = futures[i].get();
+  return out;
+}
+
+}  // namespace
 
 MskyOperator::MskyOperator(int dims, std::vector<double> thresholds,
                            SkyTree::Options options)
@@ -20,6 +44,7 @@ void MskyOperator::Expire(const UncertainElement& e) { tree_.Expire(e); }
 std::vector<SkylineMember> MskyOperator::Skyline(int i) const {
   PSKY_CHECK(i >= 1 && i <= num_thresholds());
   std::vector<SkylineMember> out;
+  out.reserve(tree_.CountUpToBand(i));
   tree_.ForEach([&out, i](const SkylineMember& m, int band) {
     if (band <= i) out.push_back(m);
   });
@@ -36,6 +61,27 @@ std::vector<SkylineMember> MskyOperator::AdHocQuery(double q_prime) const {
 
 size_t MskyOperator::AdHocCount(double q_prime) const {
   return tree_.CountAtLeast(q_prime);
+}
+
+std::vector<std::vector<SkylineMember>> MskyOperator::SkylineAll(
+    ThreadPool* pool) const {
+  const size_t k = static_cast<size_t>(num_thresholds());
+  return FanOut<std::vector<SkylineMember>>(
+      k, pool, [this](size_t i) { return Skyline(static_cast<int>(i) + 1); });
+}
+
+std::vector<std::vector<SkylineMember>> MskyOperator::AdHocQueryMany(
+    const std::vector<double>& q_primes, ThreadPool* pool) const {
+  return FanOut<std::vector<SkylineMember>>(
+      q_primes.size(), pool,
+      [this, &q_primes](size_t i) { return AdHocQuery(q_primes[i]); });
+}
+
+std::vector<size_t> MskyOperator::AdHocCountMany(
+    const std::vector<double>& q_primes, ThreadPool* pool) const {
+  return FanOut<size_t>(q_primes.size(), pool, [this, &q_primes](size_t i) {
+    return AdHocCount(q_primes[i]);
+  });
 }
 
 }  // namespace psky

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "core/operator.h"
 #include "core/sky_tree.h"
 
@@ -49,6 +50,23 @@ class MskyOperator {
 
   /// Ad-hoc count-only query; prunes whole subtrees via the P_sky bounds.
   size_t AdHocCount(double q_prime) const;
+
+  /// All k continuous results in one call, result[i-1] == Skyline(i).
+  /// With `pool` each threshold's collection runs as an independent
+  /// read-only traversal on a worker thread; results are identical to the
+  /// sequential loop. The caller must not mutate the operator while a
+  /// fan-out is in flight.
+  std::vector<std::vector<SkylineMember>> SkylineAll(
+      ThreadPool* pool = nullptr) const;
+
+  /// Batched QSKY: one ad-hoc query per entry of `q_primes`, optionally
+  /// fanned out across `pool`. Equivalent to calling AdHocQuery on each.
+  std::vector<std::vector<SkylineMember>> AdHocQueryMany(
+      const std::vector<double>& q_primes, ThreadPool* pool = nullptr) const;
+
+  /// Batched count-only QSKY, optionally fanned out across `pool`.
+  std::vector<size_t> AdHocCountMany(const std::vector<double>& q_primes,
+                                     ThreadPool* pool = nullptr) const;
 
   const SkyTree& tree() const { return tree_; }
 

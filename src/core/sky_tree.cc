@@ -1,12 +1,14 @@
 #include "core/sky_tree.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 #include <utility>
 
 #include "base/check.h"
 #include "geom/dominance.h"
+#include "geom/dominance_kernel.h"
 #include "rtree/split.h"
 
 namespace psky {
@@ -34,6 +36,13 @@ SkyTree::SkyTree(int dims, std::vector<double> thresholds, Options options)
   PSKY_CHECK_MSG(options_.min_entries >= 2, "min_entries must be >= 2");
   PSKY_CHECK_MSG(options_.max_entries >= 2 * options_.min_entries,
                  "max_entries must be >= 2 * min_entries");
+  // Leaf SoA blocks hold fanout + 1 slots (a leaf briefly overflows to
+  // max_entries + 1 between insert and split) and must fit one kernel call.
+  PSKY_CHECK_MSG(options_.max_entries + 1 <= kDominanceKernelMaxBlock,
+                 "max_entries exceeds dominance kernel block capacity");
+  soa_stride_ = options_.max_entries + 1;
+  soa_arena_.Init(static_cast<size_t>(soa_stride_) *
+                  static_cast<size_t>(dims_));
   root_ = std::make_unique<Node>();
   root_->is_leaf = true;
   root_->mbr = Mbr::Empty(dims_);
@@ -74,6 +83,11 @@ std::vector<SkyTree::BandChange> SkyTree::TakeBandChanges() {
   std::vector<BandChange> out;
   out.swap(events_);
   return out;
+}
+
+void SkyTree::DrainBandChanges(std::vector<BandChange>* out) {
+  out->clear();
+  out->swap(events_);
 }
 
 int SkyTree::BandOf(double psky_log) const {
@@ -193,6 +207,23 @@ void SkyTree::RecomputeAgg(Node* n) {
   n->count = count;
   n->pnoc_log = pnoc_log;
   RecomputeProbAgg(n);
+  // Every leaf-membership change funnels through here, so rebuilding the
+  // SoA mirror at this single point keeps it consistent by construction.
+  if (n->is_leaf) RebuildSoa(n);
+}
+
+void SkyTree::RebuildSoa(Node* n) {
+  PSKY_DCHECK(n->is_leaf);
+  if (n->soa.data == nullptr) {
+    n->soa.arena = &soa_arena_;
+    n->soa.data = soa_arena_.Alloc();
+  }
+  const int cnt = static_cast<int>(n->elems.size());
+  PSKY_DCHECK(cnt <= soa_stride_);
+  for (int k = 0; k < dims_; ++k) {
+    double* row = n->soa.data + k * soa_stride_;
+    for (int i = 0; i < cnt; ++i) row[i] = n->elems[i].pos[k];
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -228,13 +259,23 @@ bool SkyTree::ProcessArrival(Node* n, const UncertainElement& e,
   PushDown(n);
   bool changed = false;
   if (n->is_leaf) {
-    for (Elem& el : n->elems) {
-      ++counters_.elements_touched;
-      const int rel = DominanceCompare(el.pos, e.pos);
-      if (rel & 1) {
-        *pold_log_acc += el.log_one_minus_prob;
-      } else if (rel & 2) {
-        el.pnew_log += arrival_log_factor;
+    // Block kernel over the leaf's SoA mirror. Walking set bits ascending
+    // visits elements in array order, so the P_old accumulation is
+    // bit-identical to the original per-element DominanceCompare loop.
+    const int cnt = static_cast<int>(n->elems.size());
+    counters_.elements_touched += static_cast<uint64_t>(cnt);
+    uint64_t cand[kDominanceKernelMaskWords];
+    uint64_t dominated[kDominanceKernelMaskWords];
+    DominanceBlockCompare(e.pos.data(), dims_, n->soa.data, soa_stride_, cnt,
+                          cand, dominated);
+    for (int w = 0; w < (cnt + 63) / 64; ++w) {
+      for (uint64_t bits = cand[w]; bits != 0; bits &= bits - 1) {
+        const int i = w * 64 + std::countr_zero(bits);
+        *pold_log_acc += n->elems[static_cast<size_t>(i)].log_one_minus_prob;
+      }
+      for (uint64_t bits = dominated[w]; bits != 0; bits &= bits - 1) {
+        const int i = w * 64 + std::countr_zero(bits);
+        n->elems[static_cast<size_t>(i)].pnew_log += arrival_log_factor;
         changed = true;
       }
     }
@@ -346,10 +387,16 @@ bool SkyTree::ApplyOldForDominator(Node* n, const Point& pos,
   PushDown(n);
   bool changed = false;
   if (n->is_leaf) {
-    for (Elem& el : n->elems) {
-      ++counters_.elements_touched;
-      if (Dominates(pos, el.pos)) {
-        el.pold_log += addend;
+    const int cnt = static_cast<int>(n->elems.size());
+    counters_.elements_touched += static_cast<uint64_t>(cnt);
+    uint64_t cand[kDominanceKernelMaskWords];
+    uint64_t dominated[kDominanceKernelMaskWords];
+    DominanceBlockCompare(pos.data(), dims_, n->soa.data, soa_stride_, cnt,
+                          cand, dominated);
+    for (int w = 0; w < (cnt + 63) / 64; ++w) {
+      for (uint64_t bits = dominated[w]; bits != 0; bits &= bits - 1) {
+        const int i = w * 64 + std::countr_zero(bits);
+        n->elems[static_cast<size_t>(i)].pold_log += addend;
         changed = true;
       }
     }
@@ -538,9 +585,12 @@ void SkyTree::Arrive(const UncertainElement& e) {
   ProcessArrival(root_.get(), e, arrival_log_factor, &pold_log_acc);
 
   // Phase B: evict candidates whose P_new fell below the retention
-  // threshold; condense underfull nodes.
-  std::vector<Elem> evicted;
-  std::vector<Elem> reinsert;
+  // threshold; condense underfull nodes. The scratch vectors are members
+  // so their capacity survives across steps.
+  std::vector<Elem>& evicted = scratch_evicted_;
+  std::vector<Elem>& reinsert = scratch_reinsert_;
+  evicted.clear();
+  reinsert.clear();
   EvictPhase(root_.get(), /*is_root=*/true, &evicted, &reinsert);
   ShrinkRoot();
   for (Elem& el : reinsert) {
@@ -827,13 +877,22 @@ SkyTree::DominatorSums SkyTree::ExactDominators(const Point& pos,
         return;
       }
       if (n->is_leaf) {
-        for (const Elem& e : n->elems) {
-          ++tree->counters_.elements_touched;
-          if (e.seq == seq || !Dominates(e.pos, pos)) continue;
-          if (e.seq > seq) {
-            sums->newer_log += e.log_one_minus_prob;
-          } else {
-            sums->older_log += e.log_one_minus_prob;
+        const int cnt = static_cast<int>(n->elems.size());
+        tree->counters_.elements_touched += static_cast<uint64_t>(cnt);
+        uint64_t cand[kDominanceKernelMaskWords];
+        uint64_t dominated[kDominanceKernelMaskWords];
+        DominanceBlockCompare(pos.data(), tree->dims_, n->soa.data,
+                              tree->soa_stride_, cnt, cand, dominated);
+        for (int w = 0; w < (cnt + 63) / 64; ++w) {
+          for (uint64_t bits = cand[w]; bits != 0; bits &= bits - 1) {
+            const int i = w * 64 + std::countr_zero(bits);
+            const Elem& e = n->elems[static_cast<size_t>(i)];
+            if (e.seq == seq) continue;
+            if (e.seq > seq) {
+              sums->newer_log += e.log_one_minus_prob;
+            } else {
+              sums->older_log += e.log_one_minus_prob;
+            }
           }
         }
         return;
@@ -921,6 +980,15 @@ void SkyTree::CheckInvariants(bool deep) const {
       if (n->is_leaf) {
         if (leaf_depth < 0) leaf_depth = depth;
         PSKY_CHECK(leaf_depth == depth);
+        // The SoA coordinate mirror must match the element array exactly.
+        PSKY_CHECK(n->soa.data != nullptr);
+        for (size_t i = 0; i < n->elems.size(); ++i) {
+          for (int k = 0; k < tree->dims_; ++k) {
+            PSKY_CHECK(n->soa.data[static_cast<size_t>(k) *
+                                       static_cast<size_t>(tree->soa_stride_) +
+                                   i] == n->elems[i].pos[k]);
+          }
+        }
         for (const Elem& e : n->elems) {
           ex.mbr.Expand(e.pos);
           ++ex.count;

@@ -49,10 +49,10 @@ class SkyTree {
  public:
   struct Options {
     /// Node capacity; a node splits above this fanout.
-    int max_entries = 12;
+    int max_entries = 128;
     /// Minimum fanout; an underfull node is condensed (contents
     /// reinserted).
-    int min_entries = 4;
+    int min_entries = 8;
     /// Ablation knob: when false, probability multipliers are pushed to
     /// every element immediately instead of being kept lazily at nodes.
     bool use_lazy = true;
@@ -147,6 +147,11 @@ class SkyTree {
   /// composition.
   std::vector<BandChange> TakeBandChanges();
 
+  /// Allocation-free variant of TakeBandChanges: swaps the recorded
+  /// events into `*out` (clearing it first), so a caller-owned buffer —
+  /// and its capacity — is recycled across calls.
+  void DrainBandChanges(std::vector<BandChange>* out);
+
   const Counters& counters() const { return counters_; }
 
   // --- integrity auditing (see src/core/audit.h) ------------------------
@@ -198,6 +203,59 @@ class SkyTree {
   void CheckInvariants(bool deep = false) const;
 
  private:
+  // --- SoA leaf coordinate blocks ---------------------------------------
+  // Every leaf mirrors its element coordinates into a dim-major
+  // structure-of-arrays block (dimension k of element i at
+  // data[k * stride + i]) so the block dominance kernel
+  // (geom/dominance_kernel.h) can scan a whole leaf branchlessly over
+  // contiguous rows. Blocks come from a free-list arena: fixed-size,
+  // allocated in contiguous chunks, recycled when nodes die, never
+  // malloc'd per insert. The mirror is rebuilt wherever leaf membership
+  // changes — exactly the RecomputeAgg() call sites — so it can never
+  // drift out of sync with the Elem array.
+  class SoaArena {
+   public:
+    SoaArena() = default;
+    SoaArena(const SoaArena&) = delete;
+    SoaArena& operator=(const SoaArena&) = delete;
+
+    void Init(size_t block_doubles) { block_doubles_ = block_doubles; }
+
+    double* Alloc() {
+      if (free_list_.empty()) Grow();
+      double* block = free_list_.back();
+      free_list_.pop_back();
+      return block;
+    }
+
+    void Free(double* block) { free_list_.push_back(block); }
+
+   private:
+    static constexpr size_t kBlocksPerChunk = 64;
+    void Grow() {
+      auto chunk = std::make_unique<double[]>(block_doubles_ * kBlocksPerChunk);
+      for (size_t i = 0; i < kBlocksPerChunk; ++i) {
+        free_list_.push_back(chunk.get() + i * block_doubles_);
+      }
+      chunks_.push_back(std::move(chunk));
+    }
+    size_t block_doubles_ = 0;
+    std::vector<std::unique_ptr<double[]>> chunks_;
+    std::vector<double*> free_list_;
+  };
+
+  /// RAII handle for one arena block, owned by a leaf node.
+  struct SoaBlock {
+    SoaArena* arena = nullptr;
+    double* data = nullptr;
+    SoaBlock() = default;
+    SoaBlock(const SoaBlock&) = delete;
+    SoaBlock& operator=(const SoaBlock&) = delete;
+    ~SoaBlock() {
+      if (data != nullptr) arena->Free(data);
+    }
+  };
+
   // All probability bookkeeping is in log space (see operator.h): products
   // of (1 - P) factors become sums, "divide out a factor" becomes an exact
   // subtraction, and nothing underflows no matter how many dominators an
@@ -233,6 +291,9 @@ class SkyTree {
     bool dirty_all = false;     // the whole subtree changed P_sky
     std::vector<std::unique_ptr<Node>> children;
     std::vector<Elem> elems;
+    // Dim-major coordinate mirror of `elems` (leaves only); rebuilt by
+    // RecomputeAgg whenever leaf membership changes.
+    SoaBlock soa;
     int Fanout() const {
       return is_leaf ? static_cast<int>(elems.size())
                      : static_cast<int>(children.size());
@@ -256,6 +317,8 @@ class SkyTree {
   // Full recomputation including MBR, count and P_noc — used when the
   // node's membership changed (insert / remove / evict / split).
   void RecomputeAgg(Node* n);
+  // Rebuilds the leaf's dim-major SoA coordinate mirror from its elems.
+  void RebuildSoa(Node* n);
 
   // --- arrival phases ---------------------------------------------------
   // Returns true when some P_new below `n` changed.
@@ -295,9 +358,17 @@ class SkyTree {
   std::vector<double> thresholds_;      // strictly decreasing, linear
   std::vector<double> thresholds_log_;  // log of the above
   Options options_;
+  int soa_stride_ = 0;  // doubles per dimension row in a leaf SoA block
+  // Declared before root_ so nodes (whose SoaBlock handles return blocks
+  // to the arena on destruction) are destroyed first.
+  SoaArena soa_arena_;
   std::unique_ptr<Node> root_;
   std::vector<size_t> band_counts_;  // 1-based; size k + 2
   std::vector<BandChange> events_;
+  // Arrive-phase scratch, reused across steps to avoid per-call heap
+  // churn on the hot path.
+  std::vector<Elem> scratch_evicted_;
+  std::vector<Elem> scratch_reinsert_;
   mutable Counters counters_;
 };
 

@@ -22,6 +22,7 @@ void SskyOperator::Expire(const UncertainElement& e) {
 
 std::vector<SkylineMember> SskyOperator::Skyline() const {
   std::vector<SkylineMember> out;
+  out.reserve(tree_.skyline_size());
   tree_.ForEach([&out](const SkylineMember& m, int band) {
     if (band == 1) out.push_back(m);
   });
@@ -34,6 +35,7 @@ std::vector<SkylineMember> SskyOperator::Skyline() const {
 
 std::vector<SkylineMember> SskyOperator::Candidates() const {
   std::vector<SkylineMember> out;
+  out.reserve(tree_.size());
   tree_.ForEach(
       [&out](const SkylineMember& m, int /*band*/) { out.push_back(m); });
   std::sort(out.begin(), out.end(),
@@ -44,19 +46,15 @@ std::vector<SkylineMember> SskyOperator::Candidates() const {
 }
 
 SskyOperator::SkylineDelta SskyOperator::TakeSkylineDelta() {
-  // Compose per-element event chains: only the first origin and the final
-  // destination band matter for net membership.
-  struct Net {
-    int first_old;
-    int last_new;
-  };
-  std::unordered_map<uint64_t, Net> net;
-  for (const SkyTree::BandChange& ev : tree_.TakeBandChanges()) {
-    auto [it, inserted] = net.try_emplace(ev.seq, Net{ev.old_band, 0});
+  tree_.DrainBandChanges(&scratch_events_);
+  scratch_net_.clear();
+  for (const SkyTree::BandChange& ev : scratch_events_) {
+    auto [it, inserted] =
+        scratch_net_.try_emplace(ev.seq, NetBandMove{ev.old_band, 0});
     it->second.last_new = ev.new_band;
   }
   SkylineDelta delta;
-  for (const auto& [seq, n] : net) {
+  for (const auto& [seq, n] : scratch_net_) {
     const bool was_sky = n.first_old == 1;
     const bool is_sky = n.last_new == 1;
     if (!was_sky && is_sky) delta.entered.push_back(seq);

@@ -1,7 +1,13 @@
 // Minimum bounding rectangles for R-tree entries.
+//
+// All methods are inline: MBR expansion, containment and enlargement run on
+// every node of every tree descent, and an out-of-line call per invocation
+// is measurable on the stream hot path.
 
 #ifndef PSKY_GEOM_MBR_H_
 #define PSKY_GEOM_MBR_H_
+
+#include <algorithm>
 
 #include "geom/point.h"
 
@@ -23,7 +29,13 @@ class Mbr {
   }
 
   /// An "empty" MBR that absorbs the first Expand() call.
-  static Mbr Empty(int dims);
+  static Mbr Empty(int dims) {
+    Mbr m;
+    m.min_ = Point(dims);
+    m.max_ = Point(dims);
+    m.empty_ = true;
+    return m;
+  }
 
   int dims() const { return min_.dims(); }
   bool empty() const { return empty_; }
@@ -32,31 +44,98 @@ class Mbr {
   const Point& max() const { return max_; }
 
   /// Grows the MBR to cover `p`.
-  void Expand(const Point& p);
+  void Expand(const Point& p) {
+    if (empty_) {
+      min_ = p;
+      max_ = p;
+      empty_ = false;
+      return;
+    }
+    PSKY_DCHECK(p.dims() == dims());
+    for (int i = 0; i < dims(); ++i) {
+      min_[i] = std::min(min_[i], p[i]);
+      max_[i] = std::max(max_[i], p[i]);
+    }
+  }
 
   /// Grows the MBR to cover `other`.
-  void Expand(const Mbr& other);
+  void Expand(const Mbr& other) {
+    if (other.empty_) return;
+    Expand(other.min_);
+    Expand(other.max_);
+  }
 
   /// True if `p` lies inside (inclusive) this MBR.
-  bool Contains(const Point& p) const;
+  bool Contains(const Point& p) const {
+    if (empty_) return false;
+    for (int i = 0; i < dims(); ++i) {
+      if (p[i] < min_[i] || p[i] > max_[i]) return false;
+    }
+    return true;
+  }
 
   /// True if `other` lies fully inside (inclusive) this MBR.
-  bool Contains(const Mbr& other) const;
+  bool Contains(const Mbr& other) const {
+    if (empty_ || other.empty_) return false;
+    return Contains(other.min_) && Contains(other.max_);
+  }
 
   /// True if the two MBRs intersect (inclusive).
-  bool Intersects(const Mbr& other) const;
+  bool Intersects(const Mbr& other) const {
+    if (empty_ || other.empty_) return false;
+    for (int i = 0; i < dims(); ++i) {
+      if (other.max_[i] < min_[i] || other.min_[i] > max_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if `p` touches the boundary of the MBR: some coordinate equals
+  /// the min or max corner on its dimension. Removing an interior point
+  /// can never shrink an MBR; removing a boundary point might.
+  bool OnBoundary(const Point& p) const {
+    if (empty_) return false;
+    for (int i = 0; i < dims(); ++i) {
+      if (p[i] == min_[i] || p[i] == max_[i]) return true;
+    }
+    return false;
+  }
 
   /// d-dimensional volume (product of extents).
-  double Area() const;
+  double Area() const {
+    if (empty_) return 0.0;
+    double area = 1.0;
+    for (int i = 0; i < dims(); ++i) area *= max_[i] - min_[i];
+    return area;
+  }
 
   /// Sum of extents (the R*-tree "margin" measure).
-  double Margin() const;
+  double Margin() const {
+    if (empty_) return 0.0;
+    double margin = 0.0;
+    for (int i = 0; i < dims(); ++i) margin += max_[i] - min_[i];
+    return margin;
+  }
 
   /// Volume of the intersection with `other`; 0 when disjoint.
-  double OverlapArea(const Mbr& other) const;
+  double OverlapArea(const Mbr& other) const {
+    if (empty_ || other.empty_) return 0.0;
+    double area = 1.0;
+    for (int i = 0; i < dims(); ++i) {
+      const double lo = std::max(min_[i], other.min_[i]);
+      const double hi = std::min(max_[i], other.max_[i]);
+      if (hi <= lo) return 0.0;
+      area *= hi - lo;
+    }
+    return area;
+  }
 
   /// Area increase required to also cover `other`.
-  double Enlargement(const Mbr& other) const;
+  double Enlargement(const Mbr& other) const {
+    if (empty_) return other.Area();
+    Mbr merged = *this;
+    merged.Expand(other);
+    return merged.Area() - Area();
+  }
 
   /// Center coordinate along dimension `dim`.
   double Center(int dim) const { return 0.5 * (min_[dim] + max_[dim]); }

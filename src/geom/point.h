@@ -39,6 +39,10 @@ class Point {
 
   int dims() const { return dims_; }
 
+  /// Contiguous coordinate storage (dims() leading entries are valid);
+  /// feed for the block dominance kernel.
+  const double* data() const { return coords_.data(); }
+
   double& operator[](int i) {
     PSKY_DCHECK(i >= 0 && i < dims_);
     return coords_[i];

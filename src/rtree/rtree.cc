@@ -125,12 +125,19 @@ void RTree::Insert(const Point& pos, uint64_t id) {
 }
 
 bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
-                           std::vector<Item>* orphans) {
+                           std::vector<Item>* orphans, bool* mbr_shrunk) {
+  *mbr_shrunk = false;
   if (node->is_leaf) {
     for (size_t i = 0; i < node->items.size(); ++i) {
       if (node->items[i].id == id && node->items[i].pos == pos) {
         node->items.erase(node->items.begin() + static_cast<ptrdiff_t>(i));
-        RecomputeMbr(node);
+        // An interior point defines no MBR face, so removing it cannot
+        // change the box; only boundary points force a rescan.
+        if (node->mbr.OnBoundary(pos)) {
+          const Mbr before = node->mbr;
+          RecomputeMbr(node);
+          *mbr_shrunk = !(node->mbr == before);
+        }
         return true;
       }
     }
@@ -139,7 +146,9 @@ bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
   for (size_t i = 0; i < node->children.size(); ++i) {
     Node* child = node->children[i].get();
     if (!child->mbr.Contains(pos)) continue;
-    if (!EraseRecursive(child, pos, id, orphans)) continue;
+    bool child_shrunk = false;
+    if (!EraseRecursive(child, pos, id, orphans, &child_shrunk)) continue;
+    bool recompute = child_shrunk;
     if (child->Fanout() < options_.min_entries) {
       // Condense: orphan everything under the child and drop it.
       struct Collector {
@@ -154,8 +163,13 @@ bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
       Collector::Collect(child, orphans);
       node->children.erase(node->children.begin() +
                            static_cast<ptrdiff_t>(i));
+      recompute = true;
     }
-    RecomputeMbr(node);
+    if (recompute) {
+      const Mbr before = node->mbr;
+      RecomputeMbr(node);
+      *mbr_shrunk = !(node->mbr == before);
+    }
     return true;
   }
   return false;
@@ -163,7 +177,10 @@ bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
 
 bool RTree::Erase(const Point& pos, uint64_t id) {
   std::vector<Item> orphans;
-  if (!EraseRecursive(root_.get(), pos, id, &orphans)) return false;
+  bool mbr_shrunk = false;
+  if (!EraseRecursive(root_.get(), pos, id, &orphans, &mbr_shrunk)) {
+    return false;
+  }
   --size_;
 
   // Shrink the root while it is an internal node with a single child.

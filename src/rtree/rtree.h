@@ -93,8 +93,12 @@ class RTree {
                    std::vector<Node*>* path) const;
   std::unique_ptr<Node> SplitNode(Node* node);
   void RecomputeMbr(Node* node) const;
+  // Removes (pos, id) under `node`. Sets *mbr_shrunk when node->mbr
+  // actually changed, so ancestors can skip their own recompute for the
+  // common interior deletion (inserts grow MBRs incrementally; only
+  // boundary deletions and condensations can shrink one).
   bool EraseRecursive(Node* node, const Point& pos, uint64_t id,
-                      std::vector<Item>* orphans);
+                      std::vector<Item>* orphans, bool* mbr_shrunk);
 
   int dims_;
   Options options_;

@@ -20,6 +20,14 @@ std::optional<UncertainElement> CountWindow::Push(const UncertainElement& e) {
   return expired;
 }
 
+UncertainElement CountWindow::PushRotate(const UncertainElement& e) {
+  PSKY_DCHECK(buffer_.size() == capacity_);
+  UncertainElement expired = buffer_.front();
+  buffer_.pop_front();
+  buffer_.push_back(e);
+  return expired;
+}
+
 std::vector<UncertainElement> CountWindow::Snapshot() const {
   return {buffer_.begin(), buffer_.end()};
 }

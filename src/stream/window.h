@@ -27,6 +27,10 @@ class CountWindow {
   /// element (exactly one, since arrivals come one at a time).
   std::optional<UncertainElement> Push(const UncertainElement& e);
 
+  /// Steady-state rotation: appends `e`, removes and returns the oldest
+  /// element without the optional wrapper. Requires full().
+  UncertainElement PushRotate(const UncertainElement& e);
+
   size_t size() const { return buffer_.size(); }
   size_t capacity() const { return capacity_; }
   bool full() const { return buffer_.size() == capacity_; }

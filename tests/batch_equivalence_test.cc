@@ -1,0 +1,126 @@
+// Property test: StreamProcessor::StepBatch is exactly equivalent to the
+// same sequence of Step() calls — identical skylines and candidate sets
+// down to the last bit of every probability, identical operation
+// counters, and identical checkpoint bytes — across spatial
+// distributions and randomized batch sizes.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "base/random.h"
+#include "core/checkpoint.h"
+#include "core/operator.h"
+#include "core/ssky_operator.h"
+#include "stream/generator.h"
+
+namespace psky {
+namespace {
+
+constexpr size_t kStream = 6000;
+constexpr size_t kWindow = 2000;
+
+std::vector<UncertainElement> MakeStream(SpatialDistribution spatial) {
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.spatial = spatial;
+  cfg.seed = 77;
+  StreamGenerator gen(cfg);
+  std::vector<UncertainElement> out;
+  out.reserve(kStream);
+  for (size_t i = 0; i < kStream; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+void ExpectMembersIdentical(const std::vector<SkylineMember>& a,
+                            const std::vector<SkylineMember>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].element.seq, b[i].element.seq);
+    // Bit-identity, not tolerance: the batched path must execute the
+    // exact same floating-point operations in the exact same order.
+    EXPECT_EQ(a[i].pnew, b[i].pnew);
+    EXPECT_EQ(a[i].pold, b[i].pold);
+    EXPECT_EQ(a[i].psky, b[i].psky);
+    EXPECT_EQ(a[i].in_skyline, b[i].in_skyline);
+  }
+}
+
+std::string CheckpointBytes(const StreamProcessor& proc, uint64_t steps) {
+  CheckpointState state;
+  state.dims = proc.op()->dims();
+  state.q = proc.op()->threshold();
+  state.window_kind = WindowKind::kCount;
+  state.window_capacity = proc.window().capacity();
+  state.window = proc.window().Snapshot();
+  state.elements_consumed = steps;
+  state.next_seq = steps;
+  return EncodeCheckpoint(state);
+}
+
+void RunEquivalence(SpatialDistribution spatial, uint64_t batch_seed) {
+  const std::vector<UncertainElement> stream = MakeStream(spatial);
+
+  SskyOperator seq_op(3, 0.3);
+  StreamProcessor seq_proc(&seq_op, kWindow);
+  for (const UncertainElement& e : stream) seq_proc.Step(e);
+
+  SskyOperator batch_op(3, 0.3);
+  StreamProcessor batch_proc(&batch_op, kWindow);
+  Rng rng(batch_seed);
+  size_t i = 0;
+  while (i < stream.size()) {
+    // Randomized batch sizes, including 1 and sizes straddling the
+    // window-fill boundary.
+    const size_t take =
+        std::min<size_t>(1 + rng.NextBounded(97), stream.size() - i);
+    batch_proc.StepBatch(
+        std::span<const UncertainElement>(stream.data() + i, take));
+    i += take;
+  }
+
+  ExpectMembersIdentical(seq_op.Skyline(), batch_op.Skyline());
+  ExpectMembersIdentical(seq_op.Candidates(), batch_op.Candidates());
+
+  const OperatorStats& s = seq_op.stats();
+  const OperatorStats& b = batch_op.stats();
+  EXPECT_EQ(s.arrivals, b.arrivals);
+  EXPECT_EQ(s.expirations, b.expirations);
+  EXPECT_EQ(s.evictions, b.evictions);
+  EXPECT_EQ(s.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(s.elements_touched, b.elements_touched);
+
+  EXPECT_EQ(CheckpointBytes(seq_proc, stream.size()),
+            CheckpointBytes(batch_proc, stream.size()));
+}
+
+TEST(BatchEquivalence, AntiCorrelated) {
+  RunEquivalence(SpatialDistribution::kAntiCorrelated, 1);
+}
+
+TEST(BatchEquivalence, Independent) {
+  RunEquivalence(SpatialDistribution::kIndependent, 2);
+}
+
+TEST(BatchEquivalence, Correlated) {
+  RunEquivalence(SpatialDistribution::kCorrelated, 3);
+}
+
+TEST(BatchEquivalence, SingleElementBatchesDegenerateToStep) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kIndependent);
+  SskyOperator seq_op(3, 0.3);
+  StreamProcessor seq_proc(&seq_op, kWindow);
+  SskyOperator batch_op(3, 0.3);
+  StreamProcessor batch_proc(&batch_op, kWindow);
+  for (const UncertainElement& e : stream) {
+    seq_proc.Step(e);
+    batch_proc.StepBatch(std::span<const UncertainElement>(&e, 1));
+  }
+  ExpectMembersIdentical(seq_op.Candidates(), batch_op.Candidates());
+}
+
+}  // namespace
+}  // namespace psky

@@ -1,0 +1,186 @@
+// Tests for the block dominance kernel (geom/dominance_kernel.h): the
+// mask outputs must match the scalar DominanceCompare reference bit for
+// bit — including ties, equal points, and every dimensionality the
+// operators use — and the portable and SIMD paths must agree exactly.
+
+#include "geom/dominance_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.h"
+#include "geom/dominance.h"
+#include "geom/point.h"
+
+namespace psky {
+namespace {
+
+constexpr int kStride = kDominanceKernelMaxBlock;
+
+// Dim-major SoA block plus the same points as Point objects for the
+// scalar reference.
+struct Block {
+  std::vector<double> soa;
+  std::vector<Point> points;
+};
+
+Block MakeBlock(const std::vector<Point>& pts, int dims) {
+  Block b;
+  b.points = pts;
+  b.soa.assign(static_cast<size_t>(kStride) * dims, 0.0);
+  for (int k = 0; k < dims; ++k) {
+    for (size_t i = 0; i < pts.size(); ++i) {
+      b.soa[static_cast<size_t>(k) * kStride + i] = pts[i][k];
+    }
+  }
+  return b;
+}
+
+// Random coordinates from a small discrete grid, so equal coordinates
+// (and fully equal points) occur constantly.
+std::vector<Point> GridPoints(int n, int dims, Rng* rng) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int k = 0; k < dims; ++k) {
+      p[k] = 0.25 * static_cast<double>(rng->NextBounded(5));
+    }
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void ExpectMatchesReference(const Point& probe, const Block& block,
+                            const uint64_t* cand, const uint64_t* dominated) {
+  for (size_t i = 0; i < block.points.size(); ++i) {
+    const int rel = DominanceCompare(block.points[i], probe);
+    const bool want_cand = (rel & 1) != 0;       // candidate ≺ probe
+    const bool want_dominated = (rel & 2) != 0;  // probe ≺ candidate
+    const bool got_cand = (cand[i >> 6] >> (i & 63)) & 1;
+    const bool got_dominated = (dominated[i >> 6] >> (i & 63)) & 1;
+    EXPECT_EQ(got_cand, want_cand) << "candidate " << i;
+    EXPECT_EQ(got_dominated, want_dominated) << "candidate " << i;
+  }
+}
+
+TEST(DominanceKernel, MatchesScalarReferenceAcrossDimsAndSizes) {
+  Rng rng(7);
+  for (int dims = 2; dims <= 5; ++dims) {
+    for (int n : {0, 1, 3, 4, 5, 63, 64, 65, 127, 128, 200, 256}) {
+      const Block block = MakeBlock(GridPoints(n, dims, &rng), dims);
+      for (int trial = 0; trial < 8; ++trial) {
+        Point probe(dims);
+        for (int k = 0; k < dims; ++k) {
+          probe[k] = 0.25 * static_cast<double>(rng.NextBounded(5));
+        }
+        uint64_t cand[kDominanceKernelMaskWords];
+        uint64_t dominated[kDominanceKernelMaskWords];
+        DominanceBlockCompare(probe.data(), dims, block.soa.data(), kStride,
+                              n, cand, dominated);
+        ExpectMatchesReference(probe, block, cand, dominated);
+      }
+    }
+  }
+}
+
+TEST(DominanceKernel, EqualPointsDominateNeitherWay) {
+  const int dims = 3;
+  Point p(dims);
+  p[0] = 0.5;
+  p[1] = 0.25;
+  p[2] = 0.75;
+  const Block block = MakeBlock(std::vector<Point>(10, p), dims);
+  uint64_t cand[kDominanceKernelMaskWords];
+  uint64_t dominated[kDominanceKernelMaskWords];
+  DominanceBlockCompare(p.data(), dims, block.soa.data(), kStride, 10, cand,
+                        dominated);
+  EXPECT_EQ(cand[0], 0u);
+  EXPECT_EQ(dominated[0], 0u);
+}
+
+TEST(DominanceKernel, TiesOnSomeDimsResolveLikeScalar) {
+  // Candidates share coordinates with the probe on one or two dims; the
+  // strict-on-some-dim rule must match DominanceCompare exactly.
+  const int dims = 3;
+  Point probe(dims);
+  probe[0] = 0.5;
+  probe[1] = 0.5;
+  probe[2] = 0.5;
+  std::vector<Point> pts;
+  for (double a : {0.25, 0.5, 0.75}) {
+    for (double b : {0.25, 0.5, 0.75}) {
+      for (double c : {0.25, 0.5, 0.75}) {
+        Point p(dims);
+        p[0] = a;
+        p[1] = b;
+        p[2] = c;
+        pts.push_back(p);
+      }
+    }
+  }
+  const Block block = MakeBlock(pts, dims);
+  uint64_t cand[kDominanceKernelMaskWords];
+  uint64_t dominated[kDominanceKernelMaskWords];
+  DominanceBlockCompare(probe.data(), dims, block.soa.data(), kStride,
+                        static_cast<int>(pts.size()), cand, dominated);
+  ExpectMatchesReference(probe, block, cand, dominated);
+}
+
+TEST(DominanceKernel, NeverReportsBothDirections) {
+  Rng rng(11);
+  const int dims = 4;
+  const int n = 256;
+  const Block block = MakeBlock(GridPoints(n, dims, &rng), dims);
+  for (int trial = 0; trial < 32; ++trial) {
+    Point probe(dims);
+    for (int k = 0; k < dims; ++k) {
+      probe[k] = 0.25 * static_cast<double>(rng.NextBounded(5));
+    }
+    uint64_t cand[kDominanceKernelMaskWords];
+    uint64_t dominated[kDominanceKernelMaskWords];
+    DominanceBlockCompare(probe.data(), dims, block.soa.data(), kStride, n,
+                          cand, dominated);
+    for (int w = 0; w < kDominanceKernelMaskWords; ++w) {
+      EXPECT_EQ(cand[w] & dominated[w], 0u);
+    }
+  }
+}
+
+#if PSKY_DOMKERNEL_X86_DISPATCH
+TEST(DominanceKernel, PortableAndDispatchedPathsAgree) {
+  // On AVX2 hardware DominanceBlockCompare takes the SIMD path; diff its
+  // masks against a forced portable run on identical inputs. (On
+  // pre-AVX2 hardware both calls run the portable path and the test is a
+  // tautology — still worth keeping as a determinism check.)
+  Rng rng(13);
+  for (int dims = 2; dims <= 5; ++dims) {
+    for (int n : {1, 4, 7, 64, 65, 130, 256}) {
+      const Block block = MakeBlock(GridPoints(n, dims, &rng), dims);
+      Point probe(dims);
+      for (int k = 0; k < dims; ++k) {
+        probe[k] = 0.25 * static_cast<double>(rng.NextBounded(5));
+      }
+      uint64_t cand[kDominanceKernelMaskWords];
+      uint64_t dominated[kDominanceKernelMaskWords];
+      DominanceBlockCompare(probe.data(), dims, block.soa.data(), kStride, n,
+                            cand, dominated);
+      uint64_t pcand[kDominanceKernelMaskWords] = {};
+      uint64_t pdominated[kDominanceKernelMaskWords] = {};
+      dominance_internal::BlockComparePortable(probe.data(), dims,
+                                               block.soa.data(), kStride, 0,
+                                               n, pcand, pdominated);
+      for (int w = 0; w < (n + 63) / 64; ++w) {
+        EXPECT_EQ(cand[w], pcand[w]) << "dims=" << dims << " n=" << n;
+        EXPECT_EQ(dominated[w], pdominated[w])
+            << "dims=" << dims << " n=" << n;
+      }
+    }
+  }
+}
+#endif  // PSKY_DOMKERNEL_X86_DISPATCH
+
+}  // namespace
+}  // namespace psky

@@ -269,6 +269,10 @@ TEST(SkyTree, EvictionsAreCountedAndPruningReducesWork) {
   cfg.seed = 123;
   auto run = [&cfg](bool lazy, bool pruning) {
     SkyTree::Options opt;
+    // Small fanout so this 500-element window spans enough nodes for
+    // wholesale keep/evict decisions to be measurable.
+    opt.max_entries = 12;
+    opt.min_entries = 4;
     opt.use_lazy = lazy;
     opt.use_minmax_pruning = pruning;
     SskyOperator op(3, 0.3, opt);

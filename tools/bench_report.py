@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate and compare BENCH_hotpath.json files (see bench/bench_hotpath.cc).
+
+Usage:
+    bench_report.py validate FILE
+        Checks the schema and the plausibility of every recorded number.
+        Exit 0 when the file is a well-formed hot-path bench result.
+
+    bench_report.py compare BASELINE CURRENT [--max-regression 0.20]
+        Prints a per-workload throughput/latency diff and exits 1 when any
+        workload's elements/second regressed by more than the threshold
+        (fraction of the baseline). Improvements never fail the gate.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "psky-bench-hotpath-v1"
+WORKLOAD_KEYS = {
+    "elements_per_second": float,
+    "total_seconds": float,
+    "p50_step_us": float,
+    "p99_step_us": float,
+    "max_candidates": int,
+    "max_skyline": int,
+}
+TOP_KEYS = {
+    "schema": str,
+    "scale": str,
+    "n": int,
+    "window": int,
+    "dims": int,
+    "q": float,
+    "batch_size": int,
+    "kernel_variant": str,
+    "workloads": dict,
+}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(doc, path):
+    errors = []
+    for key, typ in TOP_KEYS.items():
+        if key not in doc:
+            errors.append(f"missing key: {key}")
+        elif not isinstance(doc[key], typ) and not (
+            typ is float and isinstance(doc[key], int)
+        ):
+            errors.append(f"{key}: expected {typ.__name__}")
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        errors.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if not doc["workloads"]:
+        errors.append("workloads is empty")
+    for name, w in doc["workloads"].items():
+        for key, typ in WORKLOAD_KEYS.items():
+            if key not in w:
+                errors.append(f"workload {name}: missing {key}")
+            elif not isinstance(w[key], (int, float)):
+                errors.append(f"workload {name}: {key} is not a number")
+            elif w[key] < 0:
+                errors.append(f"workload {name}: {key} is negative")
+        if "elements_per_second" in w and w["elements_per_second"] == 0:
+            errors.append(f"workload {name}: zero throughput")
+    return errors
+
+
+def cmd_validate(args):
+    doc = load(args.file)
+    errors = validate(doc, args.file)
+    if errors:
+        for e in errors:
+            print(f"{args.file}: {e}", file=sys.stderr)
+        return 1
+    wl = ", ".join(sorted(doc["workloads"]))
+    print(
+        f"{args.file}: ok (scale={doc['scale']}, "
+        f"kernel={doc['kernel_variant']}, workloads: {wl})"
+    )
+    return 0
+
+
+def cmd_compare(args):
+    base = load(args.baseline)
+    cur = load(args.current)
+    for path, doc in ((args.baseline, base), (args.current, cur)):
+        errors = validate(doc, path)
+        if errors:
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+            return 1
+    if base["scale"] != cur["scale"]:
+        print(
+            f"warning: comparing scale={base['scale']} baseline against "
+            f"scale={cur['scale']} run; throughput numbers are only "
+            "meaningful at matching scales",
+            file=sys.stderr,
+        )
+
+    failed = []
+    print(
+        f"{'workload':<10} {'base elem/s':>12} {'cur elem/s':>12} "
+        f"{'delta':>8}  {'base p99us':>10} {'cur p99us':>10}"
+    )
+    for name in sorted(base["workloads"]):
+        b = base["workloads"][name]
+        c = cur["workloads"].get(name)
+        if c is None:
+            print(f"{name:<10} missing from {args.current}")
+            failed.append(name)
+            continue
+        b_eps = b["elements_per_second"]
+        c_eps = c["elements_per_second"]
+        delta = (c_eps - b_eps) / b_eps
+        mark = ""
+        if delta < -args.max_regression:
+            failed.append(name)
+            mark = "  << REGRESSION"
+        print(
+            f"{name:<10} {b_eps:>12.0f} {c_eps:>12.0f} {delta:>+7.1%}  "
+            f"{b['p99_step_us']:>10.2f} {c['p99_step_us']:>10.2f}{mark}"
+        )
+    if failed:
+        print(
+            f"FAIL: throughput regressed more than "
+            f"{args.max_regression:.0%} on: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: no workload regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_val = sub.add_parser("validate", help="check one result file")
+    p_val.add_argument("file")
+    p_val.set_defaults(func=cmd_validate)
+    p_cmp = sub.add_parser("compare", help="diff two result files")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--max-regression", type=float, default=0.20)
+    p_cmp.set_defaults(func=cmd_compare)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,7 @@
 
 #include "base/build_info.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "core/audit.h"
 #include "core/checkpoint.h"
 #include "core/ssky_operator.h"
@@ -78,6 +79,15 @@ struct Args {
   std::string emit = "counts";
   size_t every = 10000;
   size_t topk = 0;
+  /// Elements pulled from the source and fed to the operator per loop
+  /// iteration. Results are bit-identical for any value: the expire/insert
+  /// interleaving per element is preserved (see StreamProcessor::StepBatch);
+  /// batching amortizes source dispatch and the window-full test.
+  size_t batch_size = 1;
+  /// Worker threads for off-critical-path work (currently the audit
+  /// shadow-oracle replay). 1 keeps everything on the main thread; 0
+  /// means "one per hardware thread".
+  int threads = 1;
   std::string checkpoint_dir;       // empty: checkpointing disabled
   uint64_t checkpoint_every = 0;    // 0: only final/signal checkpoints
   bool resume = false;
@@ -101,6 +111,7 @@ struct Args {
                "anti|inde|corr|stock --count N]\n"
                "                   [--emit counts|deltas|final] [--every K] "
                "[--topk K] [--seed S]\n"
+               "                   [--batch-size B] [--threads T]\n"
                "                   [--checkpoint-dir DIR [--checkpoint-every "
                "K] [--resume]]\n"
                "                   [--on-bad-input fail|skip|clamp] "
@@ -175,6 +186,10 @@ Args Parse(int argc, char** argv) {
       args.every = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--topk") {
       args.topk = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
+    } else if (flag == "--batch-size") {
+      args.batch_size = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
+    } else if (flag == "--threads") {
+      args.threads = ParseIntValue(flag, need(i++));
     } else if (flag == "--checkpoint-dir") {
       args.checkpoint_dir = need(i++);
     } else if (flag == "--checkpoint-every") {
@@ -237,6 +252,8 @@ Args Parse(int argc, char** argv) {
   if (args.window == 0 && args.time_span <= 0.0) {
     Usage("--window must be positive");
   }
+  if (args.batch_size == 0) Usage("--batch-size must be positive");
+  if (args.threads == 0) args.threads = psky::ThreadPool::DefaultThreads();
   if ((args.resume || args.checkpoint_every > 0) &&
       args.checkpoint_dir.empty()) {
     Usage("--resume / --checkpoint-every require --checkpoint-dir");
@@ -532,10 +549,18 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  // Declared before the AuditManager so workers are still alive when its
+  // destructor waits on an in-flight oracle replay.
+  std::unique_ptr<psky::ThreadPool> pool;
+  if (args.threads > 1) {
+    pool = std::make_unique<psky::ThreadPool>(args.threads);
+  }
+
   psky::AuditOptions audit_options;
   audit_options.mode = args.audit_mode;
   audit_options.audit_every = args.audit_every;
   audit_options.oracle_every = args.audit_oracle_every;
+  audit_options.pool = pool.get();
   psky::AuditManager audit(&op, audit_options, [&]() {
     return time_window != nullptr ? time_window->Snapshot()
                                   : count_window->Snapshot();
@@ -550,89 +575,108 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleStopSignal);
 
   std::vector<psky::UncertainElement> expired;
+  std::vector<psky::UncertainElement> batch;
+  batch.reserve(args.batch_size);
   bool stopped_by_signal = false;
-  while (true) {
+  bool source_done = false;
+  while (!source_done) {
     if (g_stop_requested != 0) {
       stopped_by_signal = true;
       break;
     }
-    auto element = source.Next();
-    if (!element.has_value()) break;
-
-    if (time_window != nullptr) {
-      expired.clear();
-      psky::UncertainElement incoming = *element;
-      if (!time_window->TryPush(&incoming, &expired)) {
-        // Late timestamp under --ooo-policy reject: treat like a
-        // malformed line.
-        if (args.on_bad_input == psky::BadInputPolicy::kFail) {
-          const psky::CsvElementReader* csv = source.csv();
-          std::fprintf(
-              stderr,
-              "error: line %llu: out-of-order timestamp %g is behind "
-              "watermark %g (see --ooo-policy)\n",
-              static_cast<unsigned long long>(
-                  csv != nullptr ? csv->lines_read() : step + 1),
-              incoming.time, time_window->watermark());
-          return 2;
-        }
-        continue;
-      }
-      for (const auto& old : expired) op.Expire(old);
-      op.Insert(incoming);
-    } else {
-      if (auto old = count_window->Push(*element)) op.Expire(*old);
-      op.Insert(*element);
-    }
-    ++step;
-
-    if (args.inject_drift_at != 0 && step == args.inject_drift_at) {
-      // Corrupt the newest live candidate's P_old in place — the class of
-      // damage drift accumulation produces, writ large. P_new is left
-      // alone: it also drives candidate retention, so damaging it can
-      // cause an eviction (unrepairable by design) before the auditor's
-      // next pass.
-      const auto window = time_window != nullptr ? time_window->Snapshot()
-                                                 : count_window->Snapshot();
-      for (auto it = window.rbegin(); it != window.rend(); ++it) {
-        const auto view = op.tree().LookupForAudit(it->pos, it->seq);
-        if (!view.found) continue;
-        op.mutable_tree()->RepairElement(it->pos, it->seq, view.pnew_log,
-                                         view.pold_log - 2.0);
-        std::fprintf(stderr, "injected drift into seq %llu at step %llu\n",
-                     static_cast<unsigned long long>(it->seq),
-                     static_cast<unsigned long long>(step));
+    // Pull up to batch_size elements, then feed them through the
+    // expire-before-insert cycle one by one — identical semantics to the
+    // unbatched loop (see StreamProcessor::StepBatch), with source
+    // dispatch and the stop-signal test amortized across the batch.
+    batch.clear();
+    while (batch.size() < args.batch_size) {
+      auto element = source.Next();
+      if (!element.has_value()) {
+        source_done = true;
         break;
       }
+      batch.push_back(*element);
     }
-
-    if (!audit.Step() && args.strict) {
-      char reason[96];
-      std::snprintf(reason, sizeof reason,
-                    "unrepaired integrity violation at step %llu",
-                    static_cast<unsigned long long>(step));
-      std::fprintf(stderr, "error: %s\n", reason);
-      DumpQuarantine(reason);
-      return 4;
-    }
-
-    if (args.emit == "deltas") {
-      const auto delta = op.TakeSkylineDelta();
-      for (uint64_t seq : delta.left) {
-        std::printf("-%llu\n", static_cast<unsigned long long>(seq));
+    for (const auto& element : batch) {
+      if (time_window != nullptr) {
+        expired.clear();
+        psky::UncertainElement incoming = element;
+        if (!time_window->TryPush(&incoming, &expired)) {
+          // Late timestamp under --ooo-policy reject: treat like a
+          // malformed line.
+          if (args.on_bad_input == psky::BadInputPolicy::kFail) {
+            const psky::CsvElementReader* csv = source.csv();
+            std::fprintf(
+                stderr,
+                "error: line %llu: out-of-order timestamp %g is behind "
+                "watermark %g (see --ooo-policy)\n",
+                static_cast<unsigned long long>(
+                    csv != nullptr ? csv->lines_read() : step + 1),
+                incoming.time, time_window->watermark());
+            return 2;
+          }
+          continue;
+        }
+        for (const auto& old : expired) op.Expire(old);
+        op.Insert(incoming);
+      } else {
+        if (count_window->full()) {
+          op.Expire(count_window->PushRotate(element));
+        } else {
+          count_window->Push(element);
+        }
+        op.Insert(element);
       }
-      for (uint64_t seq : delta.entered) {
-        std::printf("+%llu\n", static_cast<unsigned long long>(seq));
-      }
-    } else if (args.emit == "counts" && args.every > 0 &&
-               step % args.every == 0) {
-      std::printf("step=%llu candidates=%zu skyline=%zu\n",
-                  static_cast<unsigned long long>(step), op.candidate_count(),
-                  op.skyline_count());
-    }
+      ++step;
 
-    if (args.checkpoint_every > 0 && step % args.checkpoint_every == 0) {
-      if (!write_checkpoint()) return 3;
+      if (args.inject_drift_at != 0 && step == args.inject_drift_at) {
+        // Corrupt the newest live candidate's P_old in place — the class of
+        // damage drift accumulation produces, writ large. P_new is left
+        // alone: it also drives candidate retention, so damaging it can
+        // cause an eviction (unrepairable by design) before the auditor's
+        // next pass.
+        const auto window = time_window != nullptr ? time_window->Snapshot()
+                                                   : count_window->Snapshot();
+        for (auto it = window.rbegin(); it != window.rend(); ++it) {
+          const auto view = op.tree().LookupForAudit(it->pos, it->seq);
+          if (!view.found) continue;
+          op.mutable_tree()->RepairElement(it->pos, it->seq, view.pnew_log,
+                                           view.pold_log - 2.0);
+          std::fprintf(stderr, "injected drift into seq %llu at step %llu\n",
+                       static_cast<unsigned long long>(it->seq),
+                       static_cast<unsigned long long>(step));
+          break;
+        }
+      }
+
+      if (!audit.Step() && args.strict) {
+        char reason[96];
+        std::snprintf(reason, sizeof reason,
+                      "unrepaired integrity violation at step %llu",
+                      static_cast<unsigned long long>(step));
+        std::fprintf(stderr, "error: %s\n", reason);
+        DumpQuarantine(reason);
+        return 4;
+      }
+
+      if (args.emit == "deltas") {
+        const auto delta = op.TakeSkylineDelta();
+        for (uint64_t seq : delta.left) {
+          std::printf("-%llu\n", static_cast<unsigned long long>(seq));
+        }
+        for (uint64_t seq : delta.entered) {
+          std::printf("+%llu\n", static_cast<unsigned long long>(seq));
+        }
+      } else if (args.emit == "counts" && args.every > 0 &&
+                 step % args.every == 0) {
+        std::printf("step=%llu candidates=%zu skyline=%zu\n",
+                    static_cast<unsigned long long>(step), op.candidate_count(),
+                    op.skyline_count());
+      }
+
+      if (args.checkpoint_every > 0 && step % args.checkpoint_every == 0) {
+        if (!write_checkpoint()) return 3;
+      }
     }
   }
 
@@ -686,6 +730,7 @@ int main(int argc, char** argv) {
                  args.checkpoint_dir.c_str());
   }
   if (args.audit_mode != psky::AuditMode::kOff) {
+    audit.Drain();  // harvest any in-flight asynchronous oracle verdict
     const psky::AuditReport& r = audit.report();
     std::fprintf(
         stderr,
