@@ -33,6 +33,8 @@ struct Scale {
 };
 
 inline Scale GetScale() {
+  // Read once at startup before any worker threads exist.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("PSKY_BENCH_SCALE");
   if (env != nullptr && std::strcmp(env, "full") == 0) {
     return {"full", 2'000'000, 1'000'000};

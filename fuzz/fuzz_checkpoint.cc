@@ -1,0 +1,115 @@
+// Fuzz target for the durable-state decoders: checkpoint files
+// (core/checkpoint.h) and quarantine dumps (core/audit.h).
+//
+// The first input byte selects a mode; the rest is the attacker-controlled
+// byte stream. Raw modes hammer the header validation (magic, version,
+// size, CRC). Fix-up modes treat the input as a *payload* and wrap it in a
+// syntactically valid header with a matching CRC-32 — without this the
+// fuzzer would essentially never get past the checksum, and the payload
+// decoder (the interesting attack surface: length fields, element counts,
+// nested checkpoint in a quarantine) would stay cold.
+//
+// Contract under test: decoders return false with a diagnostic on ANY
+// input — never crash, never abort, never allocate absurd amounts. A
+// successful decode must yield a state that re-encodes cleanly.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "base/crc32.h"
+#include "base/wire.h"
+#include "core/audit.h"
+#include "core/checkpoint.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_checkpoint invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+std::string WrapPayload(const char* magic, uint32_t version,
+                        std::string_view payload) {
+  std::string out;
+  out.append(magic, 8);
+  psky::wire::AppendU32(&out, version);
+  psky::wire::AppendU32(&out, psky::Crc32(payload.data(), payload.size()));
+  psky::wire::AppendU64(&out, payload.size());
+  out.append(payload);
+  return out;
+}
+
+void TryDecodeCheckpoint(std::string_view bytes) {
+  psky::CheckpointState state;
+  std::string error;
+  if (!psky::DecodeCheckpoint(bytes, &state, &error)) {
+    Require(!error.empty(), "decode failed without diagnostic");
+    return;
+  }
+  // Accepted states must satisfy the documented bounds and survive a
+  // round-trip through the encoder.
+  Require(state.dims >= 1 && state.dims <= psky::kMaxDims,
+          "accepted dims out of range");
+  Require(state.q > 0.0 && state.q <= 1.0, "accepted q out of range");
+  psky::CheckpointState redecoded;
+  Require(psky::DecodeCheckpoint(psky::EncodeCheckpoint(state), &redecoded,
+                                 &error),
+          "accepted state does not re-encode");
+  Require(redecoded.window.size() == state.window.size(),
+          "round-trip changed window size");
+}
+
+// The quarantine decoder's only public entry takes a path; replays go
+// through one reused scratch file. Fuzzing file-at-a-time is fine for the
+// smoke budget this target runs under.
+void TryDecodeQuarantine(std::string_view bytes) {
+  static const std::string path = [] {
+    const char* dir = std::getenv("TMPDIR");
+    std::string p = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+    p += "/fuzz_quarantine_scratch_" + std::to_string(getpid()) + ".pskyq";
+    return p;
+  }();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return;
+  }
+  std::fclose(f);
+  psky::QuarantineDump dump;
+  std::string error;
+  if (!psky::ReadQuarantineFile(path, &dump, &error)) {
+    Require(!error.empty(), "quarantine decode failed without diagnostic");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  const uint8_t mode = data[0];
+  const std::string_view body(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+  switch (mode % 4) {
+    case 0:  // raw checkpoint bytes: header/CRC validation paths
+      TryDecodeCheckpoint(body);
+      break;
+    case 1:  // input as checkpoint payload behind a valid header
+      TryDecodeCheckpoint(WrapPayload("PSKYCKPT", 2, body));
+      break;
+    case 2:  // raw quarantine bytes
+      TryDecodeQuarantine(body);
+      break;
+    default:  // input as quarantine payload behind a valid header
+      TryDecodeQuarantine(WrapPayload("PSKYQRTN", 1, body));
+      break;
+  }
+  return 0;
+}

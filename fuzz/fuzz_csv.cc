@@ -1,0 +1,75 @@
+// Fuzz target for the CSV ingestion parser (stream/csv.h).
+//
+// The first two input bytes pick the reader configuration (dimensionality
+// and bad-input policy); the rest is fed to CsvElementReader as the raw
+// stream. The target drains the reader and asserts the parse-level
+// invariants the operators rely on: every yielded element has a finite
+// probability in (0, 1], finite coordinates, strictly increasing sequence
+// numbers, and the reader's counters stay consistent with what it
+// yielded. Any crash, sanitizer report, or failed invariant is a finding.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "geom/point.h"
+#include "stream/csv.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_csv invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  const int dims = 1 + data[0] % psky::kMaxDims;
+  psky::CsvReaderOptions options;
+  switch (data[1] % 3) {
+    case 0: options.policy = psky::BadInputPolicy::kFail; break;
+    case 1: options.policy = psky::BadInputPolicy::kSkip; break;
+    default: options.policy = psky::BadInputPolicy::kClamp; break;
+  }
+  // A small budget keeps the all-garbage case fast while still crossing
+  // the budget-exhaustion path.
+  options.max_consecutive_errors = 1 + data[1] / 3;
+
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 2), size - 2));
+  psky::CsvElementReader reader(&in, dims, options);
+
+  uint64_t yielded = 0;
+  uint64_t last_seq = 0;
+  while (auto e = reader.Next()) {
+    Require(std::isfinite(e->prob) && e->prob > 0.0 && e->prob <= 1.0,
+            "yielded probability outside (0, 1]");
+    for (int d = 0; d < dims; ++d) {
+      Require(std::isfinite(e->pos[d]), "yielded non-finite coordinate");
+    }
+    Require(yielded == 0 || e->seq > last_seq,
+            "sequence numbers not strictly increasing");
+    last_seq = e->seq;
+    ++yielded;
+  }
+  Require(reader.next_seq() == yielded, "next_seq != elements yielded");
+  if (!reader.ok()) {
+    Require(!reader.error().empty(), "failed reader without diagnostic");
+    Require(reader.error_line() >= 1 &&
+                reader.error_line() <= reader.lines_read(),
+            "error line outside read range");
+  }
+  if (options.policy == psky::BadInputPolicy::kFail) {
+    Require(reader.skipped_lines() == 0, "fail policy skipped lines");
+    // probs_clamped() is a uint64_t counter; the name merely contains "prob".
+    // psky-lint: allow(float-eq)
+    Require(reader.probs_clamped() == 0, "fail policy clamped probs");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// File-replay driver for fuzz targets built without libFuzzer.
+//
+// libFuzzer provides its own main() when a target is compiled with
+// -fsanitize=fuzzer; toolchains without it (GCC, plain sanitizer builds)
+// link this driver instead. Every command-line argument is a corpus file
+// (or a directory of them) whose bytes are fed through
+// LLVMFuzzerTestOneInput once — exactly how committed regression inputs
+// are replayed as a ctest.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  std::fprintf(stderr, "ok: %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) {
+          ++files;
+          failures += RunFile(entry.path().string());
+        }
+      }
+    } else {
+      ++files;
+      failures += RunFile(arg.string());
+    }
+  }
+  std::fprintf(stderr, "replayed %d input(s), %d unreadable\n", files,
+               failures);
+  return failures == 0 ? 0 : 1;
+}

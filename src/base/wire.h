@@ -80,7 +80,9 @@ class Cursor {
   }
   /// A raw byte run of exactly `len` bytes.
   bool ReadBytes(std::string* v, uint64_t len) {
-    if (pos_ + len > bytes_.size()) return false;
+    // Compare against the remainder rather than pos_ + len: a corrupted
+    // length near 2^64 would wrap the sum past the bounds check.
+    if (len > bytes_.size() - pos_) return false;
     v->assign(bytes_.substr(pos_, len));
     pos_ += len;
     return true;

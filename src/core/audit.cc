@@ -241,6 +241,13 @@ bool FailQ(std::string* error, const std::string& msg) {
   return false;
 }
 
+// strerror's static buffer is not thread-safe in general, but quarantine
+// IO runs entirely on the caller's thread and nothing else in this
+// process calls strerror concurrently.
+std::string ErrnoString() {
+  return std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
+}
+
 bool DecodeQuarantine(std::string_view bytes, QuarantineDump* out,
                       std::string* error) {
   if (bytes.size() < kQuarantineHeaderSize) {
@@ -309,7 +316,7 @@ bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return FailQ(error, "cannot open " + tmp + ": " + std::strerror(errno));
+    return FailQ(error, "cannot open " + tmp + ": " + ErrnoString());
   }
   if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
     std::fclose(f);
@@ -317,12 +324,12 @@ bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
   }
   if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
     std::fclose(f);
-    return FailQ(error, "cannot flush " + tmp + ": " + std::strerror(errno));
+    return FailQ(error, "cannot flush " + tmp + ": " + ErrnoString());
   }
   std::fclose(f);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return FailQ(error, "cannot rename " + tmp + " to " + path + ": " +
-                            std::strerror(errno));
+                            ErrnoString());
   }
   return true;
 }
@@ -331,7 +338,7 @@ bool ReadQuarantineFile(const std::string& path, QuarantineDump* out,
                         std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return FailQ(error, "cannot open " + path + ": " + std::strerror(errno));
+    return FailQ(error, "cannot open " + path + ": " + ErrnoString());
   }
   std::string bytes;
   char buf[1 << 16];

@@ -44,6 +44,13 @@ bool Fail(std::string* error, const std::string& msg) {
   return false;
 }
 
+// strerror's static buffer is not thread-safe in general, but checkpoint
+// IO runs entirely on the caller's thread and nothing else in this
+// process calls strerror concurrently.
+std::string ErrnoString() {
+  return std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
+}
+
 }  // namespace
 
 void SetCheckpointCrashHook(CheckpointCrashHook hook) { g_crash_hook = hook; }
@@ -144,7 +151,11 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
   }
   state.window_kind = static_cast<WindowKind>(kind);
   const size_t elem_bytes = 24 + 8 * static_cast<size_t>(state.dims);
-  if (c.remaining() != count * elem_bytes) {
+  // Divide instead of multiplying: count is attacker-controlled and
+  // count * elem_bytes can wrap mod 2^64 to match remaining(), sending a
+  // colossal count into window.reserve() (fuzz regression
+  // ckpt-count-overflow).
+  if (count > c.remaining() / elem_bytes || c.remaining() != count * elem_bytes) {
     return Fail(error, "checkpoint element section size mismatch: " +
                            std::to_string(count) + " elements need " +
                            std::to_string(count * elem_bytes) + " bytes, " +
@@ -185,7 +196,7 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Fail(error, "cannot open " + tmp + ": " + std::strerror(errno));
+    return Fail(error, "cannot open " + tmp + ": " + ErrnoString());
   }
   // Two-chunk write with an injectable crash between the chunks, so fault
   // tests can produce a genuinely truncated temp file.
@@ -205,7 +216,7 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
   }
   if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
     std::fclose(f);
-    return Fail(error, "cannot flush " + tmp + ": " + std::strerror(errno));
+    return Fail(error, "cannot flush " + tmp + ": " + ErrnoString());
   }
   std::fclose(f);
   if (!SurvivesCrashPoint(CheckpointCrashPoint::kBeforeRename)) {
@@ -213,7 +224,7 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Fail(error, "cannot rename " + tmp + " to " + path + ": " +
-                           std::strerror(errno));
+                           ErrnoString());
   }
   return true;
 }
@@ -222,7 +233,7 @@ bool ReadCheckpointFile(const std::string& path, CheckpointState* out,
                         std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Fail(error, "cannot open " + path + ": " + std::strerror(errno));
+    return Fail(error, "cannot open " + path + ": " + ErrnoString());
   }
   std::string bytes;
   char buf[1 << 16];

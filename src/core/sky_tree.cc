@@ -79,12 +79,18 @@ void SkyTree::RebandElem(Elem* el) {
   }
 }
 
+// Trivial event-queue drain; no tree state is touched, so there is no
+// invariant to check.
+// psky-lint: allow(mutation-guard)
 std::vector<SkyTree::BandChange> SkyTree::TakeBandChanges() {
   std::vector<BandChange> out;
   out.swap(events_);
   return out;
 }
 
+// Trivial event-queue drain; no tree state is touched, so there is no
+// invariant to check.
+// psky-lint: allow(mutation-guard)
 void SkyTree::DrainBandChanges(std::vector<BandChange>* out) {
   out->clear();
   out->swap(events_);
@@ -121,6 +127,10 @@ void SkyTree::ApplyOldAddend(Node* n, double addend) {
 }
 
 void SkyTree::PushDown(Node* n) {
+  // Exact-zero fast path: lazies start at literal 0.0 and are reset to
+  // literal 0.0; any accumulation makes them nonzero, so == is the intended
+  // sentinel test, not a tolerance check.
+  // psky-lint: allow(float-eq)
   if (n->lazy_new_log == 0.0 && n->lazy_old_log == 0.0) return;
   ++counters_.pushdowns;
   if (n->is_leaf) {
@@ -240,6 +250,8 @@ bool SkyTree::ProcessArrival(Node* n, const UncertainElement& e,
   // Entries fully dominating the arrival contribute their no-occurrence
   // probability to P_old(a_new) wholesale (Algorithm 4 lines 3-5).
   if (rel.entry_over_point == DomRelation::kFull) {
+    // order-sensitive: subtree factors fold in before any per-element
+    // factor below, same as the scalar pre-kernel traversal.
     *pold_log_acc += n->pnoc_log;
     return false;
   }
@@ -271,10 +283,14 @@ bool SkyTree::ProcessArrival(Node* n, const UncertainElement& e,
     for (int w = 0; w < (cnt + 63) / 64; ++w) {
       for (uint64_t bits = cand[w]; bits != 0; bits &= bits - 1) {
         const int i = w * 64 + std::countr_zero(bits);
+        // order-sensitive: ascending bit walk = element order, keeping
+        // the sum bit-identical to the scalar loop this replaced.
         *pold_log_acc += n->elems[static_cast<size_t>(i)].log_one_minus_prob;
       }
       for (uint64_t bits = dominated[w]; bits != 0; bits &= bits - 1) {
         const int i = w * 64 + std::countr_zero(bits);
+        // order-sensitive: single addend per element; applied in
+        // ascending element order like the scalar path.
         n->elems[static_cast<size_t>(i)].pnew_log += arrival_log_factor;
         changed = true;
       }
@@ -396,6 +412,7 @@ bool SkyTree::ApplyOldForDominator(Node* n, const Point& pos,
     for (int w = 0; w < (cnt + 63) / 64; ++w) {
       for (uint64_t bits = dominated[w]; bits != 0; bits &= bits - 1) {
         const int i = w * 64 + std::countr_zero(bits);
+        // order-sensitive: single addend per element, ascending walk.
         n->elems[static_cast<size_t>(i)].pold_log += addend;
         changed = true;
       }
@@ -631,6 +648,7 @@ void SkyTree::Arrive(const UncertainElement& e) {
 }
 
 bool SkyTree::Expire(const UncertainElement& e) {
+  PSKY_DCHECK(e.pos.dims() == dims_);
   Elem removed;
   std::vector<Elem> orphans;
   if (!RemoveRec(root_.get(), e.pos, e.seq, &removed, &orphans)) {
@@ -889,8 +907,12 @@ SkyTree::DominatorSums SkyTree::ExactDominators(const Point& pos,
             const Elem& e = n->elems[static_cast<size_t>(i)];
             if (e.seq == seq) continue;
             if (e.seq > seq) {
+              // order-sensitive: the audit re-derivation must sum in the
+              // same ascending element order as the arrival path so its
+              // "exact" values are reproducible bit-for-bit.
               sums->newer_log += e.log_one_minus_prob;
             } else {
+              // order-sensitive: see above.
               sums->older_log += e.log_one_minus_prob;
             }
           }
@@ -915,8 +937,10 @@ bool SkyTree::RepairRec(Node* n, const Point& pos, uint64_t seq,
       if (e.seq != seq || !(e.pos == pos)) continue;
       out->found = true;
       out->old_band = e.band;
-      out->value_changed =
-          e.pnew_log != pnew_log || e.pold_log != pold_log;
+      // Deliberate bitwise comparison: repair must report "changed" on ANY
+      // representational difference so the audit drift counters stay exact.
+      // psky-lint: allow(float-eq)
+      out->value_changed = e.pnew_log != pnew_log || e.pold_log != pold_log;
       e.pnew_log = pnew_log;
       e.pold_log = pold_log;
       RebandElem(&e);
@@ -938,6 +962,11 @@ bool SkyTree::RepairRec(Node* n, const Point& pos, uint64_t seq,
 SkyTree::RepairOutcome SkyTree::RepairElement(const Point& pos, uint64_t seq,
                                               double pnew_log,
                                               double pold_log) {
+  // <= 0.0 rejects NaN and positive values but permits -inf, which is a
+  // legal log-probability when a dominator has prob exactly 1.0.
+  PSKY_CHECK_MSG(pnew_log <= 0.0 && pold_log <= 0.0,
+                 "RepairElement: repaired log-probabilities must be valid "
+                 "log-domain values (<= 0)");
   RepairOutcome out;
   RepairRec(root_.get(), pos, seq, pnew_log, pold_log, &out);
   return out;

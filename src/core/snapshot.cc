@@ -34,6 +34,10 @@ std::vector<size_t> TopKSkylineIndices(
   }
   std::sort(qualified.begin(), qualified.end(),
             [&psky, &window](size_t a, size_t b) {
+              // Sort tie-break: equality here only decides which comparison
+              // key applies; near-equal values falling either way still
+              // yield a valid total order.
+              // psky-lint: allow(float-eq)
               if (psky[a] != psky[b]) return psky[a] > psky[b];
               return window[a].seq < window[b].seq;
             });

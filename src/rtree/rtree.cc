@@ -176,6 +176,7 @@ bool RTree::EraseRecursive(Node* node, const Point& pos, uint64_t id,
 }
 
 bool RTree::Erase(const Point& pos, uint64_t id) {
+  PSKY_DCHECK(pos.dims() == dims_);
   std::vector<Item> orphans;
   bool mbr_shrunk = false;
   if (!EraseRecursive(root_.get(), pos, id, &orphans, &mbr_shrunk)) {

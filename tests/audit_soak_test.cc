@@ -111,9 +111,9 @@ INSTANTIATE_TEST_SUITE_P(AllDistributions, AuditSoakTest,
                              SpatialDistribution::kAntiCorrelated,
                              SpatialDistribution::kIndependent,
                              SpatialDistribution::kCorrelated),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               SpatialDistributionName(info.param));
+                               SpatialDistributionName(param_info.param));
                          });
 
 }  // namespace

@@ -108,9 +108,9 @@ INSTANTIATE_TEST_SUITE_P(AllDistributions, AuditDistTest,
                              SpatialDistribution::kAntiCorrelated,
                              SpatialDistribution::kIndependent,
                              SpatialDistribution::kCorrelated),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               SpatialDistributionName(info.param));
+                               SpatialDistributionName(param_info.param));
                          });
 
 TEST(AuditTest, StepHonorsCadence) {

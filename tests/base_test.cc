@@ -170,7 +170,7 @@ TEST(PeakTracker, TracksPeakAndMean) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GT(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedNanos(), 0);
   t.Reset();

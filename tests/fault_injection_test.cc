@@ -286,8 +286,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SpatialDistribution::kAntiCorrelated,
                       SpatialDistribution::kIndependent,
                       SpatialDistribution::kCorrelated),
-    [](const ::testing::TestParamInfo<SpatialDistribution>& info) {
-      return SpatialDistributionName(info.param);
+    [](const ::testing::TestParamInfo<SpatialDistribution>& param_info) {
+      return SpatialDistributionName(param_info.param);
     });
 
 }  // namespace

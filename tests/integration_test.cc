@@ -102,7 +102,9 @@ TEST(Integration, AllOperatorsConsistentOnOneStream) {
         for (const auto& t : top) {
           if (t.element.seq == m.element.seq) reported = true;
         }
-        if (!reported) EXPECT_LE(m.psky, kth + 1e-9);
+        if (!reported) {
+          EXPECT_LE(m.psky, kth + 1e-9);
+        }
       }
     }
   }

@@ -108,7 +108,9 @@ TEST(NaiveOperator, PaperExample3WindowProgression) {
   for (int i = 0; i < 4; ++i) proc.Step(stream[static_cast<size_t>(i)]);
   EXPECT_EQ(SeqSet(op.Candidates()), (std::set<uint64_t>{2, 3, 4}));
   for (const auto& m : op.Candidates()) {
-    if (m.element.seq == 4) EXPECT_NEAR(m.psky, 0.378, 1e-9);
+    if (m.element.seq == 4) {
+      EXPECT_NEAR(m.psky, 0.378, 1e-9);
+    }
   }
   // No element reaches q = 0.5 in this window (max is a4's 0.378).
   EXPECT_TRUE(op.Skyline().empty());
@@ -118,8 +120,12 @@ TEST(NaiveOperator, PaperExample3WindowProgression) {
   proc.Step(stream[4]);
   EXPECT_EQ(SeqSet(op.Candidates()), (std::set<uint64_t>{2, 3, 4, 5}));
   for (const auto& m : op.Candidates()) {
-    if (m.element.seq == 4) EXPECT_NEAR(m.psky, 0.3402, 1e-9);
-    if (m.element.seq == 3) EXPECT_NEAR(m.psky, 0.3, 1e-9);
+    if (m.element.seq == 4) {
+      EXPECT_NEAR(m.psky, 0.3402, 1e-9);
+    }
+    if (m.element.seq == 3) {
+      EXPECT_NEAR(m.psky, 0.3, 1e-9);
+    }
   }
 
   // Third window: a3..a6. P_sky(a4) = 0.9*0.7*0.9 = 0.567 >= 0.5: a4 is

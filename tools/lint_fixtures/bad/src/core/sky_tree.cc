@@ -1,0 +1,10 @@
+#include "core/sky_tree.h"
+bool SkyTree::Arrive(double prob) {
+  ++n_;
+  return prob > 0.0;
+}
+bool SkyTree::Expire(double prob) {
+  PSKY_DCHECK(prob > 0.0);
+  --n_;
+  return true;
+}

@@ -1,0 +1,5 @@
+// Fixture: raw equality on probability-carrying doubles must be flagged.
+static bool SameProb(double pnew_log, double other_log) {
+  return pnew_log == other_log;
+}
+static bool SamePold(double pold, double x) { return x != pold; }

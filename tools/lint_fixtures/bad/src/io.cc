@@ -1,0 +1,7 @@
+// Fixture: library code printing to stdout/stderr must be flagged.
+#include <cstdio>
+#include <iostream>
+void Report(int v) {
+  std::cout << v << "\n";
+  printf("%d\n", v);
+}

@@ -1,0 +1,3 @@
+// Fixture: naked new/delete must be flagged.
+int* Alloc() { return new int[4]; }
+void Free(int* p) { delete[] p; }

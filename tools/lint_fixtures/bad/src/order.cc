@@ -1,0 +1,10 @@
+// Fixture: kernel-consumer FP accumulation without the order marker.
+#include <bit>
+double SumMasked(const double* vals, unsigned long long mask) {
+  double total_log = 0.0;
+  for (unsigned long long bits = mask; bits != 0; bits &= bits - 1) {
+    const int i = std::countr_zero(bits);
+    total_log += vals[i];
+  }
+  return total_log;
+}

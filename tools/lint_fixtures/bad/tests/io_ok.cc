@@ -1,0 +1,3 @@
+// Fixture: printing outside src/ is fine (tests and tools are binaries).
+#include <iostream>
+void PrintResult(int v) { std::cout << v; }

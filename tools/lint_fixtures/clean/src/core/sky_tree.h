@@ -1,0 +1,12 @@
+#ifndef PSKY_CORE_SKY_TREE_H_
+#define PSKY_CORE_SKY_TREE_H_
+class SkyTree {
+ public:
+  bool Arrive(double prob);
+  bool Expire(double prob);
+  int Count() const;
+
+ private:
+  int n_ = 0;
+};
+#endif  // PSKY_CORE_SKY_TREE_H_

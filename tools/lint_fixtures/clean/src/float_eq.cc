@@ -1,0 +1,9 @@
+// Fixture: suppressed and blessed probability comparisons stay quiet.
+static bool SameProb(double pnew_log, double other_log) {
+  // psky-lint: allow(float-eq)
+  return pnew_log == other_log;
+}
+static void AssertIdentity(double prob_a, double prob_b) {
+  PSKY_DCHECK(prob_a == prob_b);
+}
+static bool Threshold(double prob) { return prob > 0.5; }

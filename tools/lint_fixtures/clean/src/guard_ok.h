@@ -1,0 +1,3 @@
+#ifndef PSKY_GUARD_OK_H_
+#define PSKY_GUARD_OK_H_
+#endif  // PSKY_GUARD_OK_H_

@@ -1,0 +1,5 @@
+// Fixture: a documented print escape hatch stays quiet.
+#include <iostream>
+void Dump(int v) {
+  std::cerr << v;  // psky-lint: allow(no-iostream)
+}

@@ -1,0 +1,6 @@
+// Fixture: make_unique ownership and a suppressed naked new stay quiet.
+#include <memory>
+std::unique_ptr<int> Alloc() { return std::make_unique<int>(3); }
+int* Raw() {
+  return new int(4);  // psky-lint: allow(no-naked-new)
+}

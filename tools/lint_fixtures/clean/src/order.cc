@@ -1,0 +1,11 @@
+// Fixture: the same kernel-consumer accumulation with its marker present.
+#include <bit>
+double SumMasked(const double* vals, unsigned long long mask) {
+  double total_log = 0.0;
+  for (unsigned long long bits = mask; bits != 0; bits &= bits - 1) {
+    const int i = std::countr_zero(bits);
+    // order-sensitive: ascending bit walk matches the scalar reference.
+    total_log += vals[i];
+  }
+  return total_log;
+}
