@@ -1,0 +1,95 @@
+// Cooperative cancellation and deadlines for long read-only queries.
+//
+// Ad-hoc QSKY / top-k queries traverse the whole candidate tree; under
+// overload a serving loop cannot afford an unbounded traversal holding the
+// query thread. These primitives make traversals interruptible without
+// locks on the hot path: a query carries a QueryControl (an optional
+// cancel token plus an optional deadline), and the traversal ticks a
+// QueryTicker per node visit. Tokens are a single relaxed atomic;
+// deadline clock reads are amortized over `check_stride` ticks, so an
+// inactive control costs one predictable branch per node.
+
+#ifndef PSKY_BASE_CANCEL_H_
+#define PSKY_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace psky {
+
+/// One-shot cancellation flag, settable from any thread.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Cancellation/deadline context threaded through query traversals. A
+/// default-constructed control is inert: queries under it never stop
+/// early.
+struct QueryControl {
+  const CancelToken* cancel = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Traversal ticks between deadline clock reads (clock reads are the
+  /// expensive part; token checks happen on every tick).
+  int check_stride = 64;
+
+  static QueryControl Unbounded() { return QueryControl{}; }
+
+  static QueryControl WithDeadline(std::chrono::milliseconds budget) {
+    QueryControl ctl;
+    ctl.has_deadline = true;
+    ctl.deadline = std::chrono::steady_clock::now() + budget;
+    return ctl;
+  }
+
+  bool active() const { return cancel != nullptr || has_deadline; }
+};
+
+/// Per-query tick counter amortizing deadline checks. Not thread-safe;
+/// one ticker per traversal.
+class QueryTicker {
+ public:
+  explicit QueryTicker(const QueryControl& ctl)
+      : ctl_(&ctl), active_(ctl.active()) {}
+
+  /// Returns true while the query may continue. Once false, stays false.
+  bool Tick() {
+    if (!active_) return true;
+    if (stopped_) return false;
+    if (ctl_->cancel != nullptr && ctl_->cancel->cancelled()) {
+      stopped_ = true;
+      return false;
+    }
+    if (ctl_->has_deadline && ++tick_ >= ctl_->check_stride) {
+      tick_ = 0;
+      if (std::chrono::steady_clock::now() >= ctl_->deadline) {
+        stopped_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool stopped() const { return stopped_; }
+
+ private:
+  const QueryControl* ctl_;
+  bool active_;
+  bool stopped_ = false;
+  int tick_ = 0;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_CANCEL_H_

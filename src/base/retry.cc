@@ -1,0 +1,76 @@
+#include "base/retry.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "base/random.h"
+
+namespace psky {
+
+bool IsTransientIoError(int err) {
+  switch (err) {
+    case EIO:
+    case ENOSPC:
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint64_t BackoffMs(const RetryPolicy& policy, int retry_index, double u01) {
+  // base * 2^retry_index, capped; shifting by more than 63 is UB, but the
+  // cap makes anything past ~60 doublings equivalent anyway.
+  uint64_t backoff = policy.max_backoff_ms;
+  if (retry_index < 60) {
+    const uint64_t scaled = policy.base_backoff_ms << retry_index;
+    // Detect wrap from the shift: un-shifting must give the base back.
+    if ((scaled >> retry_index) == policy.base_backoff_ms &&
+        scaled < policy.max_backoff_ms) {
+      backoff = scaled;
+    }
+  }
+  double jitter = policy.jitter;
+  if (jitter < 0.0) jitter = 0.0;
+  if (jitter > 1.0) jitter = 1.0;
+  const double scale = 1.0 - jitter * u01;
+  return static_cast<uint64_t>(static_cast<double>(backoff) * scale);
+}
+
+bool RetryWithBackoff(const RetryPolicy& policy,
+                      const std::function<bool(int* err)>& attempt,
+                      RetryStats* stats, const SleepFn& sleeper) {
+  RetryStats local;
+  RetryStats* s = stats != nullptr ? stats : &local;
+  Rng rng(policy.seed);
+  const int budget = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int i = 0; i < budget; ++i) {
+    if (i > 0) {
+      const uint64_t ms = BackoffMs(policy, i - 1, rng.NextDouble());
+      s->backoff_ms_total += ms;
+      if (sleeper) {
+        sleeper(ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      ++s->retries;
+    }
+    ++s->attempts;
+    int err = 0;
+    if (attempt(&err)) return true;
+    if (!IsTransientIoError(err)) {
+      ++s->permanent_failures;
+      return false;
+    }
+  }
+  ++s->exhausted;
+  return false;
+}
+
+}  // namespace psky

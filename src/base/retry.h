@@ -1,0 +1,68 @@
+// Bounded retry with jittered exponential backoff for transient I/O.
+//
+// Checkpoint and quarantine writes can hit transient kernel-level errors
+// (EIO on a flaky device, ENOSPC during a log-rotation race, EINTR) that
+// clear within milliseconds. Aborting a long-running stream on the first
+// such error throws away a healthy window; retrying forever wedges the
+// pipeline. This module implements the standard middle ground: classify
+// the errno, retry transient failures up to a budget with exponential
+// backoff, and jitter the backoff (seeded, reproducible) so a fleet of
+// processes does not stampede the recovering device in lockstep.
+//
+// Permanent errors (EACCES, EROFS, ...) fail immediately: no number of
+// retries fixes a permission problem.
+
+#ifndef PSKY_BASE_RETRY_H_
+#define PSKY_BASE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace psky {
+
+/// Retry budget and backoff shape. `max_attempts` counts the first try:
+/// 1 disables retrying entirely.
+struct RetryPolicy {
+  int max_attempts = 1;
+  uint64_t base_backoff_ms = 10;  ///< backoff before the first retry
+  uint64_t max_backoff_ms = 2000;
+  /// Fraction of each backoff randomized: sleep in
+  /// [backoff * (1 - jitter), backoff]. 0 = deterministic backoff.
+  double jitter = 0.5;
+  /// Seed for the jitter stream; fixed seed = reproducible schedule.
+  uint64_t seed = 0x5EEDu;
+};
+
+/// Outcome counters for one or more RetryWithBackoff calls.
+struct RetryStats {
+  uint64_t attempts = 0;       ///< total attempts, including first tries
+  uint64_t retries = 0;        ///< attempts beyond the first
+  uint64_t backoff_ms_total = 0;
+  uint64_t exhausted = 0;      ///< operations that ran out of budget
+  uint64_t permanent_failures = 0;  ///< operations failed non-transiently
+};
+
+/// True for errno values worth retrying: the error can clear on its own
+/// (EIO, ENOSPC, EINTR, EAGAIN, EBUSY, EDQUOT). Everything else — and
+/// errno 0, "failed but no errno captured" — is permanent.
+bool IsTransientIoError(int err);
+
+/// Backoff for the `retry_index`-th retry (0-based), jittered by `u01`
+/// (a uniform [0,1) draw). Exposed for tests.
+uint64_t BackoffMs(const RetryPolicy& policy, int retry_index, double u01);
+
+/// Sleep hook; tests inject a recorder to avoid real sleeping.
+using SleepFn = std::function<void(uint64_t ms)>;
+
+/// Runs `attempt` until it succeeds, fails permanently, or the budget is
+/// exhausted. `attempt` returns true on success; on failure it sets
+/// `*err` to the errno-style cause (0 = unknown, treated as permanent).
+/// Between transient failures, sleeps the jittered backoff via `sleeper`
+/// (nullptr = real sleep). `stats` may be null. Returns overall success.
+bool RetryWithBackoff(const RetryPolicy& policy,
+                      const std::function<bool(int* err)>& attempt,
+                      RetryStats* stats, const SleepFn& sleeper = nullptr);
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_RETRY_H_

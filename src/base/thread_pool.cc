@@ -1,14 +1,20 @@
 #include "base/thread_pool.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/fault_injection.h"
 
 namespace psky {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
+  running_since_.resize(static_cast<size_t>(num_threads));
+  running_.resize(static_cast<size_t>(num_threads), false);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i]() { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -18,7 +24,7 @@ void ThreadPool::Submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     PSKY_CHECK_MSG(!shutting_down_, "Submit() on a shut-down ThreadPool");
-    queue_.push_back(std::move(job));
+    queue_.push_back(Job{std::move(job), Clock::now()});
   }
   work_available_.notify_one();
 }
@@ -44,7 +50,28 @@ int ThreadPool::DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ThreadPool::WorkerLoop() {
+ThreadPool::Status ThreadPool::GetStatus() const {
+  const Clock::time_point now = Clock::now();
+  auto age_ms = [now](Clock::time_point since) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+            .count());
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status;
+  status.queued = queue_.size();
+  status.active = active_;
+  if (!queue_.empty()) status.oldest_queued_ms = age_ms(queue_.front().enqueued);
+  for (size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i]) {
+      status.longest_running_ms =
+          std::max(status.longest_running_ms, age_ms(running_since_[i]));
+    }
+  }
+  return status;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> job;
     {
@@ -52,13 +79,19 @@ void ThreadPool::WorkerLoop() {
       work_available_.wait(
           lock, [this]() { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutting down and drained
-      job = std::move(queue_.front());
+      job = std::move(queue_.front().fn);
       queue_.pop_front();
       ++active_;
+      running_since_[worker_index] = Clock::now();
+      running_[worker_index] = true;
     }
+    // Chaos harness: an injected pre-task delay models a wedged worker;
+    // the watchdog must notice via longest_running_ms.
+    if (fault::Enabled()) fault::MaybeDelay(fault::Site::kPoolTask);
     job();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      running_[worker_index] = false;
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

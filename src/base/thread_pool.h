@@ -17,7 +17,9 @@
 #ifndef PSKY_BASE_THREAD_POOL_H_
 #define PSKY_BASE_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -67,15 +69,39 @@ class ThreadPool {
   /// concurrency, at least 1).
   static int DefaultThreads();
 
- private:
-  void WorkerLoop();
+  /// Point-in-time health snapshot for watchdogs (core/overload.h): how
+  /// deep the queue is, how long its head has been waiting, and how long
+  /// the longest in-flight job has been running. Ages are measured at the
+  /// moment of the call; a wedged worker shows up as a monotonically
+  /// growing `longest_running_ms`.
+  struct Status {
+    size_t queued = 0;
+    int active = 0;
+    uint64_t oldest_queued_ms = 0;
+    uint64_t longest_running_ms = 0;
+  };
+  Status GetStatus() const;
 
-  std::mutex mu_;
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
+  void WorkerLoop(size_t worker_index);
+
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   int active_ = 0;
   bool shutting_down_ = false;
+  // Per-worker start time of the job currently running; meaningful only
+  // where running_[i] is true. Guarded by mu_.
+  std::vector<Clock::time_point> running_since_;
+  std::vector<bool> running_;
   std::vector<std::thread> workers_;
 };
 

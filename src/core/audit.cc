@@ -10,6 +10,7 @@
 
 #include "base/build_info.h"
 #include "base/crc32.h"
+#include "base/fault_injection.h"
 #include "base/wire.h"
 #include "core/naive_operator.h"
 #include "geom/dominance.h"
@@ -177,11 +178,14 @@ bool AuditManager::Step() {
   ++report_.steps_seen;
   if (options_.mode == AuditMode::kOff) return true;
   const uint64_t before = report_.violations_unrepaired;
-  if (options_.audit_every > 0 &&
-      report_.steps_seen % options_.audit_every == 0) {
+  // The degradation ladder stretches the slice cadence multiplicatively;
+  // stretch 1 is the configured behavior.
+  const uint64_t effective_every = options_.audit_every * audit_stretch_;
+  if (options_.audit_every > 0 && report_.steps_seen % effective_every == 0) {
     RunSliceAudit();
+    last_slice_audit_step_ = report_.steps_seen;
   }
-  if (options_.oracle_every > 0 &&
+  if (!suspend_oracle_ && options_.oracle_every > 0 &&
       report_.steps_seen % options_.oracle_every == 0) {
     if (options_.pool != nullptr) {
       HarvestOracle();
@@ -310,27 +314,85 @@ std::string QuarantineFileName(uint64_t elements_consumed) {
   return buf;
 }
 
+std::string QuarantineFileName(uint64_t elements_consumed, uint64_t dump_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "quarantine-%020llu-%03llu.pskyq",
+                static_cast<unsigned long long>(elements_consumed),
+                static_cast<unsigned long long>(dump_seq));
+  return buf;
+}
+
 bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
                          std::string* error) {
+  return WriteQuarantineFile(path, dump, error, nullptr);
+}
+
+bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
+                         std::string* error, int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
+  auto fail_io = [error, out_errno](int err, const std::string& msg) {
+    if (out_errno != nullptr) *out_errno = err;
+    return FailQ(error, msg);
+  };
   const std::string bytes = EncodeQuarantine(dump);
   const std::string tmp = path + ".tmp";
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kQuarantineWrite)) {
+      return fail_io(inj, "cannot write " + tmp + ": " +
+                              std::string(std::strerror(inj)) +  // NOLINT(concurrency-mt-unsafe)
+                              " (injected)");
+    }
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return FailQ(error, "cannot open " + tmp + ": " + ErrnoString());
+    return fail_io(errno, "cannot open " + tmp + ": " + ErrnoString());
   }
+  errno = 0;
   if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    const int err = errno != 0 ? errno : EIO;
     std::fclose(f);
-    return FailQ(error, "short write to " + tmp);
+    return fail_io(err, "short write to " + tmp);
   }
   if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    const int err = errno;
     std::fclose(f);
-    return FailQ(error, "cannot flush " + tmp + ": " + ErrnoString());
+    return fail_io(err, "cannot flush " + tmp + ": " + ErrnoString());
   }
   std::fclose(f);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return FailQ(error, "cannot rename " + tmp + " to " + path + ": " +
-                            ErrnoString());
+    return fail_io(errno, "cannot rename " + tmp + " to " + path + ": " +
+                              ErrnoString());
   }
+  return true;
+}
+
+bool WriteQuarantineFileRetry(const std::string& path,
+                              const QuarantineDump& dump,
+                              const RetryPolicy& policy, RetryStats* stats,
+                              std::string* error) {
+  std::string last_error;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        return WriteQuarantineFile(path, dump, &last_error, err);
+      },
+      stats);
+  if (!ok && error != nullptr) *error = last_error;
+  return ok;
+}
+
+bool QuarantineGovernor::Admit(uint64_t step, uint64_t* seq_out) {
+  // A failure while the window since the last admitted dump is still open
+  // belongs to that dump's burst. Out-of-order steps (never expected on
+  // the crash path) conservatively start a new burst.
+  if (dumps_admitted_ > 0 && step >= last_dump_step_ &&
+      step - last_dump_step_ < options_.burst_window_steps) {
+    ++dumps_suppressed_;
+    return false;
+  }
+  last_dump_step_ = step;
+  ++dumps_admitted_;
+  if (seq_out != nullptr) *seq_out = dumps_admitted_;
   return true;
 }
 

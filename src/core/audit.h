@@ -147,6 +147,23 @@ class AuditManager {
   /// unrepaired by this sweep. Used for escalation and final sweeps.
   uint64_t AuditAll();
 
+  /// Overload response (core/overload.h): stretches the slice-audit
+  /// cadence by `audit_stretch` (1 restores the configured cadence) and,
+  /// while `suspend_oracle` is set, skips shadow-oracle launches and
+  /// harvests entirely — an in-flight replay is picked up by the next
+  /// oracle step after release, or by Drain(). Reversible at any step.
+  void SetDegradation(bool suspend_oracle, uint64_t audit_stretch) {
+    suspend_oracle_ = suspend_oracle;
+    audit_stretch_ = audit_stretch == 0 ? 1 : audit_stretch;
+  }
+
+  /// Steps since the last slice audit actually ran — the audit lag a
+  /// heartbeat line reports; grows while the ladder has auditing
+  /// stretched or the cadence simply has not come due.
+  uint64_t steps_since_last_audit() const {
+    return report_.steps_seen - last_slice_audit_step_;
+  }
+
   /// Replays the window through the naive reference operator and diffs
   /// the q-skyline, escalating per mode. Returns true when the skylines
   /// agree (possibly after repair).
@@ -182,6 +199,10 @@ class AuditManager {
   uint64_t cursor_ = 0;  // rotating position into the window
   double q_log_;
   std::optional<PendingOracle> pending_oracle_;
+  // Degradation state (SetDegradation); defaults are "no degradation".
+  bool suspend_oracle_ = false;
+  uint64_t audit_stretch_ = 1;
+  uint64_t last_slice_audit_step_ = 0;
 };
 
 // --- crash quarantine ----------------------------------------------------
@@ -205,10 +226,66 @@ struct QuarantineDump {
 /// `elements_consumed` steps: "quarantine-<20-digit count>.pskyq".
 std::string QuarantineFileName(uint64_t elements_consumed);
 
+/// As above but carrying a per-run monotonic dump sequence number (from
+/// QuarantineGovernor), so repeated failures at the same stream position
+/// cannot overwrite each other's evidence:
+/// "quarantine-<20-digit count>-<3-digit seq>.pskyq".
+std::string QuarantineFileName(uint64_t elements_consumed, uint64_t dump_seq);
+
 /// Writes `dump` to `path` atomically (same temp-and-rename discipline as
 /// checkpoints). Returns false and sets `*error` on I/O failure.
 bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
                          std::string* error);
+
+/// Errno-reporting variant (same contract as the WriteCheckpointFile
+/// overload); honors the qrtn-write fault-injection site.
+bool WriteQuarantineFile(const std::string& path, const QuarantineDump& dump,
+                         std::string* error, int* out_errno);
+
+/// Retrying wrapper mirroring WriteCheckpointFileRetry: transient I/O
+/// errnos are retried with jittered backoff under `policy`; only after
+/// budget exhaustion (or a permanent error) does the dump fail.
+bool WriteQuarantineFileRetry(const std::string& path,
+                              const QuarantineDump& dump,
+                              const RetryPolicy& policy, RetryStats* stats,
+                              std::string* error);
+
+/// Rate-limits quarantine dumps so a failure *burst* — a PSKY_CHECK storm
+/// or an integrity violation detected on every subsequent step — produces
+/// one post-mortem file, not thousands. The first failure of a burst is
+/// admitted and assigned a monotonic sequence number; further failures
+/// within `burst_window_steps` stream steps of the last admitted dump are
+/// suppressed (and counted). A failure after the window has passed starts
+/// a new burst.
+///
+/// Not thread-safe: the crash paths that consult it are terminal and
+/// single-threaded (fatal-signal handler, strict-mode exit).
+class QuarantineGovernor {
+ public:
+  struct Options {
+    /// Failures within this many steps of the last admitted dump belong
+    /// to the same burst.
+    uint64_t burst_window_steps = 1024;
+  };
+
+  QuarantineGovernor() = default;
+  explicit QuarantineGovernor(Options options) : options_(options) {}
+
+  /// Asks to dump for a failure observed at stream step `step`. Returns
+  /// true and writes the dump's sequence number (1-based, monotonic) to
+  /// `*seq_out` when admitted; returns false (failure counted suppressed)
+  /// when the failure belongs to the current burst.
+  bool Admit(uint64_t step, uint64_t* seq_out);
+
+  uint64_t dumps_admitted() const { return dumps_admitted_; }
+  uint64_t dumps_suppressed() const { return dumps_suppressed_; }
+
+ private:
+  Options options_;
+  uint64_t dumps_admitted_ = 0;
+  uint64_t dumps_suppressed_ = 0;
+  uint64_t last_dump_step_ = 0;
+};
 
 /// Reads and validates a quarantine file (magic, version, CRC, embedded
 /// checkpoint). Returns false with `*error` on failure.

@@ -11,6 +11,7 @@
 
 #include "base/build_info.h"
 #include "base/crc32.h"
+#include "base/fault_injection.h"
 #include "base/wire.h"
 #include "geom/point.h"
 
@@ -47,8 +48,19 @@ bool Fail(std::string* error, const std::string& msg) {
 // strerror's static buffer is not thread-safe in general, but checkpoint
 // IO runs entirely on the caller's thread and nothing else in this
 // process calls strerror concurrently.
-std::string ErrnoString() {
-  return std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
+std::string ErrnoString(int err) {
+  return std::strerror(err);  // NOLINT(concurrency-mt-unsafe)
+}
+std::string ErrnoString() { return ErrnoString(errno); }
+
+// Failure with an errno attached, for callers (the retry wrapper) that
+// classify transient vs. permanent conditions. `err` of 0 means the
+// failure was not errno-shaped (simulated crash hook, logic error) and is
+// treated as permanent.
+bool FailIo(std::string* error, int* out_errno, int err,
+            const std::string& msg) {
+  if (out_errno != nullptr) *out_errno = err;
+  return Fail(error, msg);
 }
 
 }  // namespace
@@ -187,6 +199,12 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
 
 bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
                          std::string* error) {
+  return WriteCheckpointFile(path, state, error, nullptr);
+}
+
+bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
+                         std::string* error, int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
   // A crash mid-write leaves a ".tmp" behind; clear that wreckage before
   // producing more so interrupted runs cannot accumulate temp files.
   const std::string parent =
@@ -194,16 +212,34 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
   RemoveStaleCheckpointTemps(parent.empty() ? "." : parent);
   const std::string bytes = EncodeCheckpoint(state);
   const std::string tmp = path + ".tmp";
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointOpen)) {
+      return FailIo(error, out_errno, inj,
+                    "cannot open " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Fail(error, "cannot open " + tmp + ": " + ErrnoString());
+    return FailIo(error, out_errno, errno,
+                  "cannot open " + tmp + ": " + ErrnoString());
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointWrite)) {
+      std::fclose(f);
+      return FailIo(error, out_errno, inj,
+                    "cannot write " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
   }
   // Two-chunk write with an injectable crash between the chunks, so fault
   // tests can produce a genuinely truncated temp file.
   const size_t half = bytes.size() / 2;
+  errno = 0;
   if (std::fwrite(bytes.data(), 1, half, f) != half) {
+    const int err = errno != 0 ? errno : EIO;
     std::fclose(f);
-    return Fail(error, "short write to " + tmp);
+    return FailIo(error, out_errno, err, "short write to " + tmp);
   }
   if (!SurvivesCrashPoint(CheckpointCrashPoint::kMidPayload)) {
     std::fclose(f);
@@ -211,22 +247,56 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
   }
   if (std::fwrite(bytes.data() + half, 1, bytes.size() - half, f) !=
       bytes.size() - half) {
+    const int err = errno != 0 ? errno : EIO;
     std::fclose(f);
-    return Fail(error, "short write to " + tmp);
+    return FailIo(error, out_errno, err, "short write to " + tmp);
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointFsync)) {
+      std::fclose(f);
+      return FailIo(error, out_errno, inj,
+                    "cannot flush " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
   }
   if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    const int err = errno;
     std::fclose(f);
-    return Fail(error, "cannot flush " + tmp + ": " + ErrnoString());
+    return FailIo(error, out_errno, err,
+                  "cannot flush " + tmp + ": " + ErrnoString(err));
   }
   std::fclose(f);
   if (!SurvivesCrashPoint(CheckpointCrashPoint::kBeforeRename)) {
     return Fail(error, "simulated crash before checkpoint rename");
   }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointRename)) {
+      return FailIo(error, out_errno, inj,
+                    "cannot rename " + tmp + " to " + path + ": " +
+                        ErrnoString(inj) + " (injected)");
+    }
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Fail(error, "cannot rename " + tmp + " to " + path + ": " +
-                           ErrnoString());
+    return FailIo(error, out_errno, errno,
+                  "cannot rename " + tmp + " to " + path + ": " +
+                      ErrnoString());
   }
   return true;
+}
+
+bool WriteCheckpointFileRetry(const std::string& path,
+                              const CheckpointState& state,
+                              const RetryPolicy& policy, RetryStats* stats,
+                              std::string* error) {
+  std::string last_error;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        return WriteCheckpointFile(path, state, &last_error, err);
+      },
+      stats);
+  if (!ok && error != nullptr) *error = last_error;
+  return ok;
 }
 
 bool ReadCheckpointFile(const std::string& path, CheckpointState* out,

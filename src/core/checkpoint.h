@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/retry.h"
 #include "core/operator.h"
 #include "stream/element.h"
 
@@ -89,6 +90,24 @@ bool DecodeCheckpoint(std::string_view bytes, CheckpointState* out,
 /// Returns false and sets `*error` on any I/O failure.
 bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
                          std::string* error);
+
+/// As above, but also reports the failing errno through `*out_errno` (0 for
+/// non-errno failures such as an injected crash hook) so callers can tell
+/// transient I/O conditions (EIO, ENOSPC, EINTR, ...) from permanent ones.
+/// Honors the fault-injection sites ckpt-open/-write/-fsync/-rename
+/// (base/fault_injection.h).
+bool WriteCheckpointFile(const std::string& path, const CheckpointState& state,
+                         std::string* error, int* out_errno);
+
+/// Retrying wrapper: re-attempts WriteCheckpointFile under `policy` with
+/// jittered exponential backoff while the failure is a transient I/O errno
+/// (IsTransientIoError). Permanent failures return immediately; a
+/// transient failure that outlives the budget reports exhaustion in
+/// `*stats`. `*error` carries the last attempt's diagnostic on failure.
+bool WriteCheckpointFileRetry(const std::string& path,
+                              const CheckpointState& state,
+                              const RetryPolicy& policy, RetryStats* stats,
+                              std::string* error);
 
 /// Reads and validates a checkpoint file. Returns false with `*error` on
 /// I/O failure or any corruption.

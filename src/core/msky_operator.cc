@@ -84,4 +84,48 @@ std::vector<size_t> MskyOperator::AdHocCountMany(
   });
 }
 
+// The ctl-aware batch variants share one QueryControl across all fanned-out
+// traversals — safe because the control is read-only; each traversal keeps
+// its own QueryTicker inside the tree query.
+
+bool MskyOperator::AdHocQueryMany(
+    const std::vector<double>& q_primes, const QueryControl& ctl,
+    ThreadPool* pool, std::vector<std::vector<SkylineMember>>* out) const {
+  using One = std::pair<bool, std::vector<SkylineMember>>;
+  std::vector<One> results =
+      FanOut<One>(q_primes.size(), pool, [this, &q_primes, &ctl](size_t i) {
+        One r;
+        r.first = tree_.CollectAtLeast(q_primes[i], ctl, &r.second);
+        return r;
+      });
+  out->clear();
+  out->reserve(results.size());
+  bool completed = true;
+  for (One& r : results) {
+    completed = completed && r.first;
+    out->push_back(std::move(r.second));
+  }
+  return completed;
+}
+
+bool MskyOperator::AdHocCountMany(const std::vector<double>& q_primes,
+                                  const QueryControl& ctl, ThreadPool* pool,
+                                  std::vector<size_t>* out) const {
+  using One = std::pair<bool, size_t>;
+  std::vector<One> results =
+      FanOut<One>(q_primes.size(), pool, [this, &q_primes, &ctl](size_t i) {
+        One r{false, 0};
+        r.first = tree_.CountAtLeast(q_primes[i], ctl, &r.second);
+        return r;
+      });
+  out->clear();
+  out->reserve(results.size());
+  bool completed = true;
+  for (const One& r : results) {
+    completed = completed && r.first;
+    out->push_back(r.second);
+  }
+  return completed;
+}
+
 }  // namespace psky

@@ -68,6 +68,20 @@ class MskyOperator {
   std::vector<size_t> AdHocCountMany(const std::vector<double>& q_primes,
                                      ThreadPool* pool = nullptr) const;
 
+  /// Deadline/cancellation-aware batched QSKY: every per-threshold
+  /// traversal shares `ctl` (one deadline bounds the whole batch).
+  /// Returns false when any traversal was cut short; `(*out)[i]` then
+  /// holds that query's well-formed partial result. Results are identical
+  /// to AdHocQueryMany when the control never fires.
+  bool AdHocQueryMany(const std::vector<double>& q_primes,
+                      const QueryControl& ctl, ThreadPool* pool,
+                      std::vector<std::vector<SkylineMember>>* out) const;
+
+  /// Deadline/cancellation-aware batched count-only QSKY; same contract.
+  bool AdHocCountMany(const std::vector<double>& q_primes,
+                      const QueryControl& ctl, ThreadPool* pool,
+                      std::vector<size_t>* out) const;
+
   const SkyTree& tree() const { return tree_; }
 
  private:

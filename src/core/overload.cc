@@ -1,0 +1,304 @@
+#include "core/overload.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace psky {
+
+bool ParseOverloadPolicy(std::string_view name, OverloadPolicy* out) {
+  if (name == "block") {
+    *out = OverloadPolicy::kBlock;
+  } else if (name == "shed-oldest") {
+    *out = OverloadPolicy::kShedOldest;
+  } else if (name == "shed-low-prob") {
+    *out = OverloadPolicy::kShedLowProb;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+    case OverloadPolicy::kShedLowProb:
+      return "shed-low-prob";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// BoundedIngestQueue
+// ---------------------------------------------------------------------------
+
+BoundedIngestQueue::BoundedIngestQueue(size_t capacity, OverloadPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  PSKY_CHECK_MSG(capacity > 0, "ingest queue capacity must be positive");
+}
+
+bool BoundedIngestQueue::Push(IngestItem item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_requested_ || producer_closed_) {
+    ++stats_.dropped_on_stop;
+    return false;
+  }
+  if (items_.size() >= capacity_) {
+    switch (policy_) {
+      case OverloadPolicy::kBlock: {
+        ++stats_.producer_blocks;
+        can_push_.wait(lock, [this]() {
+          return items_.size() < capacity_ || stop_requested_;
+        });
+        if (stop_requested_) {
+          ++stats_.dropped_on_stop;
+          return false;
+        }
+        break;
+      }
+      case OverloadPolicy::kShedOldest: {
+        items_.pop_front();
+        ++stats_.shed_oldest;
+        break;
+      }
+      case OverloadPolicy::kShedLowProb: {
+        // The element with the lowest occurrence probability has the
+        // lowest attainable P_sky; if the arrival itself is the weakest,
+        // it is the one shed.
+        size_t min_idx = 0;
+        double min_prob = items_[0].element.prob;
+        for (size_t i = 1; i < items_.size(); ++i) {
+          if (items_[i].element.prob < min_prob) {
+            min_prob = items_[i].element.prob;
+            min_idx = i;
+          }
+        }
+        if (item.element.prob <= min_prob) {
+          ++stats_.shed_incoming;
+          return true;  // admitted-and-shed: the push itself succeeded
+        }
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(min_idx));
+        ++stats_.shed_low_prob;
+        break;
+      }
+    }
+  }
+  items_.push_back(std::move(item));
+  ++stats_.enqueued;
+  stats_.peak_depth = std::max(stats_.peak_depth, items_.size());
+  lock.unlock();
+  can_pop_.notify_one();
+  return true;
+}
+
+void BoundedIngestQueue::CloseProducer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    producer_closed_ = true;
+  }
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+void BoundedIngestQueue::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+size_t BoundedIngestQueue::PopBatch(std::vector<IngestItem>* out,
+                                    size_t max_items, uint64_t wait_ms) {
+  out->clear();
+  if (max_items == 0) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items_.empty()) {
+    can_pop_.wait_for(lock, std::chrono::milliseconds(wait_ms), [this]() {
+      return !items_.empty() || producer_closed_ || stop_requested_;
+    });
+  }
+  const size_t n = std::min(max_items, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  stats_.dequeued += n;
+  lock.unlock();
+  if (n > 0) can_push_.notify_all();
+  return n;
+}
+
+bool BoundedIngestQueue::drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (producer_closed_ || stop_requested_) && items_.empty();
+}
+
+size_t BoundedIngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+double BoundedIngestQueue::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(items_.size()) / static_cast<double>(capacity_);
+}
+
+QueueStats BoundedIngestQueue::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// DegradationLadder
+// ---------------------------------------------------------------------------
+
+DegradationLadder::DegradationLadder(Options options, Listener listener)
+    : options_(options), listener_(std::move(listener)) {
+  PSKY_CHECK_MSG(options_.release_pressure < options_.engage_pressure,
+                 "ladder hysteresis requires release < engage pressure");
+}
+
+int DegradationLadder::Observe(double pressure) {
+  if (pressure >= options_.engage_pressure) {
+    ++above_streak_;
+    below_streak_ = 0;
+  } else if (pressure <= options_.release_pressure) {
+    ++below_streak_;
+    above_streak_ = 0;
+  } else {
+    // Between the thresholds: both streaks reset, the rung holds. This
+    // dead band is the hysteresis.
+    above_streak_ = 0;
+    below_streak_ = 0;
+  }
+
+  const int old_rung = stats_.rung;
+  if (above_streak_ >= options_.engage_hold &&
+      stats_.rung < options_.max_rung) {
+    ++stats_.rung;
+    ++stats_.escalations;
+    above_streak_ = 0;
+  } else if (below_streak_ >= options_.release_hold && stats_.rung > 0) {
+    --stats_.rung;
+    ++stats_.recoveries;
+    below_streak_ = 0;
+  }
+  stats_.peak_rung = std::max(stats_.peak_rung, stats_.rung);
+  if (stats_.rung != old_rung && listener_) {
+    listener_(old_rung, stats_.rung, pressure);
+  }
+  return stats_.rung;
+}
+
+DegradationLadder::Effects DegradationLadder::effects() const {
+  Effects e;
+  if (stats_.rung >= 1) e.batch_multiplier = options_.batch_multiplier;
+  if (stats_.rung >= 2) e.suspend_oracle = true;
+  if (stats_.rung >= 3) e.audit_stretch = options_.audit_stretch;
+  if (stats_.rung >= 4) e.checkpoint_stretch = options_.checkpoint_stretch;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+Watchdog::Watchdog(Options options, AlarmFn alarm)
+    : options_(options), alarm_(std::move(alarm)) {
+  PSKY_CHECK_MSG(options_.poll_ms > 0, "watchdog poll interval must be > 0");
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+Watchdog::Stats Watchdog::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Watchdog::Loop() {
+  uint64_t prev_step = last_step_.load(std::memory_order_relaxed);
+  uint64_t gap_ms = 0;
+  bool step_alarmed = false;
+  bool pool_alarmed = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                            [this]() { return stopping_; })) {
+        return;
+      }
+    }
+
+    const uint64_t step = last_step_.load(std::memory_order_relaxed);
+    if (step != prev_step || !busy_.load(std::memory_order_relaxed)) {
+      prev_step = step;
+      gap_ms = 0;
+      step_alarmed = false;
+    } else {
+      gap_ms += options_.poll_ms;
+      bool fire = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.max_step_gap_ms = std::max(stats_.max_step_gap_ms, gap_ms);
+        if (gap_ms >= options_.stall_ms && !step_alarmed) {
+          ++stats_.step_stalls;
+          fire = true;
+        }
+      }
+      if (fire) {
+        step_alarmed = true;
+        if (alarm_) {
+          alarm_("pipeline stalled: no step completed for " +
+                 std::to_string(gap_ms) + " ms (last step " +
+                 std::to_string(step) + ")");
+        }
+      }
+    }
+
+    if (pool_ != nullptr) {
+      const ThreadPool::Status status = pool_->GetStatus();
+      const uint64_t worst =
+          std::max(status.oldest_queued_ms, status.longest_running_ms);
+      if (worst >= options_.task_stall_ms) {
+        if (!pool_alarmed) {
+          pool_alarmed = true;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.pool_stalls;
+          }
+          if (alarm_) {
+            alarm_("thread-pool task wedged: " + std::to_string(worst) +
+                   " ms (queued=" + std::to_string(status.queued) +
+                   " active=" + std::to_string(status.active) + ")");
+          }
+        }
+      } else {
+        pool_alarmed = false;
+      }
+    }
+  }
+}
+
+}  // namespace psky

@@ -716,17 +716,26 @@ void SkyTree::ForEach(
 }
 
 std::vector<SkylineMember> SkyTree::CollectAtLeast(double qprime) const {
+  std::vector<SkylineMember> out;
+  CollectAtLeast(qprime, QueryControl::Unbounded(), &out);
+  return out;
+}
+
+bool SkyTree::CollectAtLeast(double qprime, const QueryControl& ctl,
+                             std::vector<SkylineMember>* out) const {
   PSKY_CHECK_MSG(qprime >= retention_threshold(),
                  "ad-hoc threshold must be >= the retention threshold");
   const double q_log = std::log(qprime);
-  std::vector<SkylineMember> out;
+  out->clear();
+  QueryTicker ticker(ctl);
 
   struct Walker {
     const SkyTree* tree;
     double q_log;
     std::vector<SkylineMember>* out;
+    QueryTicker* ticker;
     void Walk(const Node* n, double acc_new, double acc_old) {
-      if (n->count == 0) return;
+      if (n->count == 0 || !ticker->Tick()) return;
       const double acc_psky = acc_new + acc_old;
       if (tree->options_.use_minmax_pruning &&
           n->max_psky_log + acc_psky < q_log) {
@@ -749,25 +758,34 @@ std::vector<SkylineMember> SkyTree::CollectAtLeast(double qprime) const {
       }
     }
   };
-  Walker{this, q_log, &out}.Walk(root_.get(), 0.0, 0.0);
-  std::sort(out.begin(), out.end(),
+  Walker{this, q_log, out, &ticker}.Walk(root_.get(), 0.0, 0.0);
+  std::sort(out->begin(), out->end(),
             [](const SkylineMember& a, const SkylineMember& b) {
               return a.element.seq < b.element.seq;
             });
-  return out;
+  return !ticker.stopped();
 }
 
 size_t SkyTree::CountAtLeast(double qprime) const {
+  size_t total = 0;
+  CountAtLeast(qprime, QueryControl::Unbounded(), &total);
+  return total;
+}
+
+bool SkyTree::CountAtLeast(double qprime, const QueryControl& ctl,
+                           size_t* out) const {
   PSKY_CHECK_MSG(qprime >= retention_threshold(),
                  "ad-hoc threshold must be >= the retention threshold");
   const double q_log = std::log(qprime);
+  QueryTicker ticker(ctl);
 
   struct Walker {
     const SkyTree* tree;
     double q_log;
+    QueryTicker* ticker;
     size_t total = 0;
     void Walk(const Node* n, double acc_psky) {
-      if (n->count == 0) return;
+      if (n->count == 0 || !ticker->Tick()) return;
       if (tree->options_.use_minmax_pruning) {
         if (n->max_psky_log + acc_psky < q_log) return;
         if (n->min_psky_log + acc_psky >= q_log) {
@@ -785,14 +803,24 @@ size_t SkyTree::CountAtLeast(double qprime) const {
       for (const auto& child : n->children) Walk(child.get(), below);
     }
   };
-  Walker walker{this, q_log};
+  Walker walker{this, q_log, &ticker};
   walker.Walk(root_.get(), 0.0);
-  return walker.total;
+  *out = walker.total;
+  return !ticker.stopped();
 }
 
 std::vector<SkylineMember> SkyTree::TopK(size_t k) const {
+  std::vector<SkylineMember> out;
+  TopK(k, QueryControl::Unbounded(), &out);
+  return out;
+}
+
+bool SkyTree::TopK(size_t k, const QueryControl& ctl,
+                   std::vector<SkylineMember>* out) const {
   // Best-first search on the max P_sky aggregates: the tree acts as the
-  // max-heap of Section VI's top-k extension.
+  // max-heap of Section VI's top-k extension. A cut-short run has already
+  // emitted results in exact descending P_sky order, so the partial
+  // answer is a true prefix of the full top-k ranking.
   struct Entry {
     double key;  // upper bound (node) or exact (element) log P_sky
     const Node* node;
@@ -804,17 +832,19 @@ std::vector<SkylineMember> SkyTree::TopK(size_t k) const {
       return a.key < b.key;  // max-heap
     }
   };
-  std::vector<SkylineMember> out;
-  if (root_->count == 0 || k == 0) return out;
+  out->clear();
+  if (root_->count == 0 || k == 0) return true;
+  QueryTicker ticker(ctl);
 
   std::priority_queue<Entry, std::vector<Entry>, Compare> heap;
   heap.push(Entry{root_->max_psky_log, root_.get(), nullptr, 0.0, 0.0});
-  while (!heap.empty() && out.size() < k) {
+  while (!heap.empty() && out->size() < k) {
+    if (!ticker.Tick()) return false;
     const Entry top = heap.top();
     heap.pop();
     if (top.elem != nullptr) {
-      out.push_back(MakeMember(*top.elem, top.elem->pnew_log + top.acc_new,
-                               top.elem->pold_log + top.acc_old));
+      out->push_back(MakeMember(*top.elem, top.elem->pnew_log + top.acc_new,
+                                top.elem->pold_log + top.acc_old));
       continue;
     }
     const Node* n = top.node;
@@ -833,7 +863,7 @@ std::vector<SkylineMember> SkyTree::TopK(size_t k) const {
       }
     }
   }
-  return out;
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/cancel.h"
 #include "core/operator.h"
 #include "geom/mbr.h"
 #include "stream/element.h"
@@ -129,6 +130,23 @@ class SkyTree {
   /// threshold), best-first via the max P_sky aggregates (Section VI
   /// "heap tree" view). Ordered by decreasing P_sky.
   std::vector<SkylineMember> TopK(size_t k) const;
+
+  // --- interruptible queries (base/cancel.h) ----------------------------
+  // Deadline/cancellation-aware variants for serving under overload: the
+  // traversal ticks `ctl` per node visit and stops cooperatively when the
+  // deadline passes or the token fires. Each fills `*out` (cleared first)
+  // and returns true when the traversal ran to completion, false when it
+  // was cut short — `*out` then holds a well-formed partial result (a
+  // subset of the full answer; for TopK, a prefix of the exact ranking).
+  // An inert control (QueryControl::Unbounded) adds one predictable
+  // branch per node and never stops.
+
+  bool CollectAtLeast(double qprime, const QueryControl& ctl,
+                      std::vector<SkylineMember>* out) const;
+  bool CountAtLeast(double qprime, const QueryControl& ctl,
+                    size_t* out) const;
+  bool TopK(size_t k, const QueryControl& ctl,
+            std::vector<SkylineMember>* out) const;
 
   /// One band transition of one element. Band 0 is the pseudo-band
   /// "not in the candidate set": arrivals come from band 0, evictions and

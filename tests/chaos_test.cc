@@ -1,0 +1,435 @@
+// Chaos harness: the seeded fault-injection schedule language, retry with
+// jittered backoff over injected transient I/O errors, the retrying
+// checkpoint/quarantine writers (including the fsync/rename regression the
+// retry path exists for), quarantine burst governance, and an end-to-end
+// pipeline run under a fault schedule with exact accounting.
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fault_injection.h"
+#include "base/retry.h"
+#include "core/audit.h"
+#include "core/checkpoint.h"
+#include "core/overload.h"
+#include "core/ssky_operator.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+#include "test_util.h"
+
+namespace psky {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every test arms its own schedule; always disarm afterwards so fault
+// state never leaks across tests (or into other suites via sharding).
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Clear(); }
+
+  std::string Arm(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::LoadSchedule(spec, &error)) << error;
+    return error;
+  }
+};
+
+// --- schedule language ---------------------------------------------------
+
+TEST_F(ChaosTest, DisarmedHooksAreInert) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointFsync), 0);
+  EXPECT_EQ(fault::DelayMs(fault::Site::kStep), 0u);
+}
+
+TEST_F(ChaosTest, FailClauseHitsExactOccurrences) {
+  Arm("fail=ckpt-fsync@2..3:enospc");
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointFsync), 0);
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointFsync), ENOSPC);
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointFsync), ENOSPC);
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointFsync), 0);
+  // Other sites are untouched.
+  EXPECT_EQ(fault::FailErrno(fault::Site::kCheckpointRename), 0);
+  EXPECT_EQ(fault::StatsSnapshot().failures_injected, 2u);
+  EXPECT_EQ(fault::Occurrences(fault::Site::kCheckpointFsync), 4u);
+}
+
+TEST_F(ChaosTest, OpenRangeFailsForever) {
+  Arm("fail=qrtn-write@3+");
+  EXPECT_EQ(fault::FailErrno(fault::Site::kQuarantineWrite), 0);
+  EXPECT_EQ(fault::FailErrno(fault::Site::kQuarantineWrite), 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fault::FailErrno(fault::Site::kQuarantineWrite), EIO);
+  }
+}
+
+TEST_F(ChaosTest, DelayClauseReportsMilliseconds) {
+  Arm("delay=step@1..2:7");
+  EXPECT_EQ(fault::DelayMs(fault::Site::kStep), 7u);
+  EXPECT_EQ(fault::DelayMs(fault::Site::kStep), 7u);
+  EXPECT_EQ(fault::DelayMs(fault::Site::kStep), 0u);
+  const fault::Stats s = fault::StatsSnapshot();
+  EXPECT_EQ(s.delays_injected, 2u);
+  EXPECT_EQ(s.delay_ms_total, 14u);
+}
+
+TEST_F(ChaosTest, ProbabilisticFailureIsSeededAndReproducible) {
+  auto run = [this]() {
+    Arm("seed=11;pfail=pool-task:0.5");
+    std::vector<int> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fault::FailErrno(fault::Site::kPoolTask));
+    }
+    return outcomes;
+  };
+  const std::vector<int> first = run();
+  const std::vector<int> second = run();
+  EXPECT_EQ(first, second);  // same seed, same schedule, same outcomes
+  int failures = 0;
+  for (int e : first) failures += e != 0 ? 1 : 0;
+  EXPECT_GT(failures, 10);  // p=0.5 over 64 draws
+  EXPECT_LT(failures, 54);
+}
+
+TEST_F(ChaosTest, MalformedSchedulesAreRejectedWithDiagnostics) {
+  const char* bad[] = {
+      "nonsense",           "fail=bogus-site@1",  "fail=step@",
+      "fail=step@5..3",     "fail=step@1:ebogus", "pfail=step:1.5",
+      "delay=step@1",       "seed=notanumber",    "fail=@1",
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(fault::LoadSchedule(spec, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+  // A rejected schedule must not arm anything.
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(ChaosTest, EmptyScheduleDisarms) {
+  Arm("fail=step@1+");
+  EXPECT_TRUE(fault::Enabled());
+  std::string error;
+  EXPECT_TRUE(fault::LoadSchedule("", &error));
+  EXPECT_FALSE(fault::Enabled());
+}
+
+// --- retry over injected faults ------------------------------------------
+
+TEST(RetryTest, TransientErrnoClassification) {
+  for (int e : {EIO, ENOSPC, EINTR, EAGAIN, EBUSY, EDQUOT}) {
+    EXPECT_TRUE(IsTransientIoError(e)) << e;
+  }
+  for (int e : {0, EACCES, EROFS, ENOENT, EINVAL}) {
+    EXPECT_FALSE(IsTransientIoError(e)) << e;
+  }
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndRespectsCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 100;
+  policy.jitter = 0.0;
+  EXPECT_EQ(BackoffMs(policy, 0, 0.0), 10u);
+  EXPECT_EQ(BackoffMs(policy, 1, 0.0), 20u);
+  EXPECT_EQ(BackoffMs(policy, 2, 0.0), 40u);
+  EXPECT_EQ(BackoffMs(policy, 4, 0.0), 100u);   // capped
+  EXPECT_EQ(BackoffMs(policy, 63, 0.0), 100u);  // shift overflow guarded
+}
+
+TEST(RetryTest, JitterShrinksBackoffWithinBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.jitter = 0.5;
+  // u01=0 → full backoff; u01→1 → (1 - jitter) * backoff.
+  EXPECT_EQ(BackoffMs(policy, 0, 0.0), 100u);
+  const uint64_t jittered = BackoffMs(policy, 0, 0.999);
+  EXPECT_GE(jittered, 50u);
+  EXPECT_LT(jittered, 100u);
+}
+
+TEST(RetryTest, RecoversWithinBudgetAndCountsBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  policy.base_backoff_ms = 5;
+  RetryStats stats;
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        if (++calls < 3) {
+          *err = EIO;
+          return false;
+        }
+        return true;
+      },
+      &stats, [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(sleeps, (std::vector<uint64_t>{5, 10}));
+  EXPECT_EQ(stats.backoff_ms_total, 15u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, PermanentErrorFailsWithoutRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        ++calls;
+        *err = EACCES;
+        return false;
+      },
+      &stats, [](uint64_t) {});
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 1);  // no retry can fix a permission problem
+  EXPECT_EQ(stats.permanent_failures, 1u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, BudgetExhaustionIsCounted) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        ++calls;
+        *err = ENOSPC;
+        return false;
+      },
+      &stats, [](uint64_t) {});
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.exhausted, 1u);
+}
+
+// --- retrying checkpoint / quarantine writers ----------------------------
+
+CheckpointState SmallState() {
+  CheckpointState state;
+  state.dims = 2;
+  state.q = 0.3;
+  state.window_kind = WindowKind::kCount;
+  state.window_capacity = 8;
+  state.elements_consumed = 42;
+  state.next_seq = 42;
+  for (uint64_t i = 0; i < 4; ++i) {
+    state.window.push_back(MakeElement({1.0 + i, 2.0 - i * 0.1}, 0.8, i));
+  }
+  return state;
+}
+
+RetryPolicy FastRetry(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.base_backoff_ms = 0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+class ChaosIoTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("psky_chaos_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    ChaosTest::TearDown();
+    fs::remove_all(dir_);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+// Satellite regression: a checkpoint whose fsync AND rename both hit
+// transient errors must come back recoverable through the retry path —
+// previously any such failure was terminal for the run.
+TEST_F(ChaosIoTest, CheckpointSurvivesTransientFsyncAndRenameFailures) {
+  // Attempt 1 dies at fsync; attempt 2 survives fsync but dies at its
+  // first rename; attempt 3 completes. Occurrences count per site.
+  Arm("fail=ckpt-fsync@1:eio;fail=ckpt-rename@1:enospc");
+  const CheckpointState state = SmallState();
+  RetryStats stats;
+  std::string error;
+  ASSERT_TRUE(WriteCheckpointFileRetry(Path("ck.psky"), state, FastRetry(4),
+                                       &stats, &error))
+      << error;
+  EXPECT_EQ(stats.retries, 2u);  // one fsync hit, one rename hit
+  // The file on disk is complete and loadable.
+  CheckpointState loaded;
+  ASSERT_TRUE(ReadCheckpointFile(Path("ck.psky"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.elements_consumed, 42u);
+  EXPECT_EQ(loaded.window.size(), 4u);
+}
+
+TEST_F(ChaosIoTest, CheckpointErrnoIsReportedAndBudgetExhaustionFails) {
+  Arm("fail=ckpt-write@1+:eio");
+  RetryStats stats;
+  std::string error;
+  int err = 0;
+  EXPECT_FALSE(
+      WriteCheckpointFile(Path("ck.psky"), SmallState(), &error, &err));
+  EXPECT_EQ(err, EIO);
+  EXPECT_NE(error.find("injected"), std::string::npos);
+  // Every retry re-hits the open range: the budget runs out.
+  EXPECT_FALSE(WriteCheckpointFileRetry(Path("ck.psky"), SmallState(),
+                                        FastRetry(3), &stats, &error));
+  EXPECT_EQ(stats.exhausted, 1u);
+  // No half-written checkpoint left in place.
+  EXPECT_FALSE(fs::exists(Path("ck.psky")));
+}
+
+TEST_F(ChaosIoTest, QuarantineWriteRetriesInjectedFault) {
+  Arm("fail=qrtn-write@1:eintr");
+  QuarantineDump dump;
+  dump.reason = "chaos test";
+  dump.state = SmallState();
+  RetryStats stats;
+  std::string error;
+  ASSERT_TRUE(WriteQuarantineFileRetry(Path("q.pskyq"), dump, FastRetry(2),
+                                       &stats, &error))
+      << error;
+  EXPECT_EQ(stats.retries, 1u);
+  QuarantineDump loaded;
+  ASSERT_TRUE(ReadQuarantineFile(Path("q.pskyq"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.reason, "chaos test");
+}
+
+// --- quarantine burst governance -----------------------------------------
+
+TEST(QuarantineGovernorTest, OneDumpPerBurstWithMonotonicSequence) {
+  QuarantineGovernor::Options options;
+  options.burst_window_steps = 100;
+  QuarantineGovernor governor(options);
+  uint64_t seq = 0;
+  // First failure of a burst is admitted.
+  ASSERT_TRUE(governor.Admit(1000, &seq));
+  EXPECT_EQ(seq, 1u);
+  // A CHECK storm at nearby steps is one burst: suppressed.
+  EXPECT_FALSE(governor.Admit(1000, &seq));
+  EXPECT_FALSE(governor.Admit(1050, &seq));
+  EXPECT_EQ(governor.dumps_suppressed(), 2u);
+  // A failure beyond the burst window is new evidence.
+  ASSERT_TRUE(governor.Admit(1100, &seq));
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(governor.dumps_admitted(), 2u);
+}
+
+TEST(QuarantineGovernorTest, SequencedFileNamesStaySortable) {
+  const std::string a = QuarantineFileName(500, 1);
+  const std::string b = QuarantineFileName(500, 2);
+  const std::string c = QuarantineFileName(1500, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // Both naming forms keep the .pskyq suffix the tooling globs for.
+  EXPECT_NE(a.find(".pskyq"), std::string::npos);
+  EXPECT_NE(QuarantineFileName(500).find(".pskyq"), std::string::npos);
+}
+
+// --- end-to-end pipeline under chaos -------------------------------------
+
+// Drives a generator stream through the queue + operator pipeline twice —
+// once clean, once under a fault schedule with retries — and requires the
+// chaotic run to (a) survive, (b) account for every element exactly, and
+// (c) when the schedule injects only recoverable faults under the block
+// policy, reach the identical final skyline.
+TEST_F(ChaosIoTest, PipelineUnderChaosMatchesCleanRunExactly) {
+  constexpr uint64_t kCount = 4000;
+  constexpr size_t kWindow = 300;
+
+  auto run = [&](bool chaotic) {
+    if (chaotic) {
+      Arm("seed=5;delay=step@100..120:1;fail=ckpt-fsync@1:eio;"
+          "fail=ckpt-rename@1:enospc");
+    } else {
+      fault::Clear();
+    }
+    StreamConfig cfg;
+    cfg.dims = 3;
+    cfg.seed = 77;
+    StreamGenerator gen(cfg);
+    SskyOperator op(3, 0.3);
+    CountWindow window(kWindow);
+    BoundedIngestQueue queue(32, OverloadPolicy::kBlock);
+    std::thread producer([&] {
+      for (uint64_t i = 0; i < kCount; ++i) {
+        IngestItem item;
+        item.element = gen.Next();
+        item.next_seq_after = item.element.seq + 1;
+        if (!queue.Push(std::move(item))) break;
+      }
+      queue.CloseProducer();
+    });
+    uint64_t processed = 0;
+    uint64_t checkpoints = 0;
+    std::vector<IngestItem> batch;
+    for (;;) {
+      const size_t n = queue.PopBatch(&batch, 64, 50);
+      if (n == 0) {
+        if (queue.drained()) break;
+        continue;
+      }
+      for (const auto& item : batch) {
+        if (fault::Enabled()) fault::MaybeDelay(fault::Site::kStep);
+        if (window.full()) op.Expire(window.PushRotate(item.element));
+        else window.Push(item.element);
+        op.Insert(item.element);
+        ++processed;
+        if (processed % 1000 == 0) {
+          CheckpointState state;
+          state.dims = 3;
+          state.q = 0.3;
+          state.window_kind = WindowKind::kCount;
+          state.window_capacity = kWindow;
+          state.window = window.Snapshot();
+          state.elements_consumed = processed;
+          state.next_seq = processed;
+          RetryStats stats;
+          std::string error;
+          EXPECT_TRUE(WriteCheckpointFileRetry(Path("chaos_ck.psky"), state,
+                                               FastRetry(4), &stats, &error))
+              << error;
+          ++checkpoints;
+        }
+      }
+    }
+    producer.join();
+    EXPECT_EQ(processed, kCount);
+    EXPECT_EQ(checkpoints, kCount / 1000);
+    const QueueStats s = queue.StatsSnapshot();
+    EXPECT_EQ(s.enqueued, kCount);
+    EXPECT_EQ(s.dequeued, kCount);
+    EXPECT_EQ(s.shed_oldest + s.shed_low_prob + s.shed_incoming, 0u);
+    return SeqsOf(op.Skyline());
+  };
+
+  const std::vector<uint64_t> clean = run(false);
+  const std::vector<uint64_t> chaotic = run(true);
+  EXPECT_EQ(clean, chaotic);
+  const fault::Stats fs_after = fault::StatsSnapshot();
+  EXPECT_EQ(fs_after.failures_injected, 2u);  // both recovered by retry
+  EXPECT_GE(fs_after.delays_injected, 21u);
+}
+
+}  // namespace
+}  // namespace psky

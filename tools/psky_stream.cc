@@ -14,10 +14,23 @@
 //   --checkpoint-every K     snapshot every K elements (plus one at exit)
 //   --resume                 restore the newest valid snapshot, fast-forward
 //                            the source, and continue the stream
+//   --io-retries N           retry transient checkpoint/quarantine I/O
+//                            failures up to N times with jittered backoff
 //   --on-bad-input fail|skip|clamp   malformed-line policy (default fail)
 //   --ooo-policy reject|clamp        late-timestamp policy (default reject)
-// SIGINT/SIGTERM drain gracefully: a final checkpoint is flushed (when a
-// checkpoint dir is configured) and counters are reported before exit.
+// SIGINT/SIGTERM drain gracefully: queued elements are processed, a final
+// checkpoint is flushed (when a checkpoint dir is configured) and counters
+// are reported before exit.
+//
+// Overload management (see docs/operations.md):
+//   --max-queue N            bounded ingest queue in front of the operator;
+//                            ingestion moves to its own thread (0 = direct)
+//   --overload-policy P      what a full queue does with the next element:
+//                            block | shed-oldest | shed-low-prob
+//   --query-deadline-ms MS   deadline for the final skyline/top-k query
+//   --stats-interval K       heartbeat line on stderr every K steps
+//   --watchdog-stall-ms MS   alarm when no step completes for MS while busy
+//   --chaos-schedule SPEC    seeded fault injection (base/fault_injection.h)
 //
 // Integrity auditing (see docs/operations.md):
 //   --audit-mode off|check|repair  what to do with detected drift
@@ -27,7 +40,8 @@
 //                            repair (a quarantine dump is written first)
 // On PSKY_CHECK failure or a fatal signal the window state and audit
 // counters are dumped to a quarantine file in the checkpoint dir (or the
-// working directory) for post-mortem replay.
+// working directory) for post-mortem replay. Dumps are rate-limited to one
+// per failure burst and carry monotonic sequence numbers.
 //
 // Output (stdout), one line per report:
 //   counts:  step=<n> candidates=<c> skyline=<s>
@@ -37,6 +51,8 @@
 // configuration, 2 malformed input, 3 checkpoint I/O failure, 4 unrepaired
 // integrity violation under --strict.
 
+#include <atomic>
+#include <chrono>
 #include <climits>
 #include <csignal>
 #include <cstdio>
@@ -48,12 +64,17 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "base/build_info.h"
+#include "base/cancel.h"
 #include "base/check.h"
+#include "base/fault_injection.h"
+#include "base/retry.h"
 #include "base/thread_pool.h"
 #include "core/audit.h"
 #include "core/checkpoint.h"
+#include "core/overload.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
 #include "stream/csv.h"
@@ -100,6 +121,22 @@ struct Args {
   // Test hook: at this step, corrupt one live element's probability state
   // in place, exactly the kind of damage the auditor exists to catch.
   uint64_t inject_drift_at = 0;
+  // --- overload management ---------------------------------------------
+  /// Ingest queue capacity; 0 keeps the classic single-threaded loop.
+  size_t max_queue = 0;
+  psky::OverloadPolicy overload_policy = psky::OverloadPolicy::kBlock;
+  /// Deadline for the final skyline/top-k query; 0 = unbounded.
+  uint64_t query_deadline_ms = 0;
+  /// Heartbeat cadence in steps; 0 disables the heartbeat.
+  uint64_t stats_interval = 0;
+  /// Watchdog stall threshold; 0 disables the watchdog.
+  uint64_t watchdog_stall_ms = 0;
+  /// Extra attempts for transient checkpoint/quarantine I/O failures.
+  int io_retries = 0;
+  /// Base backoff between I/O retries (doubled per retry, jittered).
+  uint64_t io_backoff_ms = 10;
+  /// Fault-injection schedule (see base/fault_injection.h for grammar).
+  std::string chaos_schedule;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -114,6 +151,13 @@ struct Args {
                "                   [--batch-size B] [--threads T]\n"
                "                   [--checkpoint-dir DIR [--checkpoint-every "
                "K] [--resume]]\n"
+               "                   [--io-retries N] [--io-backoff-ms MS]\n"
+               "                   [--max-queue N] [--overload-policy "
+               "block|shed-oldest|shed-low-prob]\n"
+               "                   [--query-deadline-ms MS] "
+               "[--stats-interval K]\n"
+               "                   [--watchdog-stall-ms MS] "
+               "[--chaos-schedule SPEC]\n"
                "                   [--on-bad-input fail|skip|clamp] "
                "[--ooo-policy reject|clamp]\n"
                "                   [--audit-mode off|check|repair] "
@@ -196,6 +240,25 @@ Args Parse(int argc, char** argv) {
       args.checkpoint_every = ParseUint64Value(flag, need(i++));
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--max-queue") {
+      args.max_queue = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
+    } else if (flag == "--overload-policy") {
+      const char* v = need(i++);
+      if (!psky::ParseOverloadPolicy(v, &args.overload_policy)) {
+        Usage("--overload-policy must be block, shed-oldest or shed-low-prob");
+      }
+    } else if (flag == "--query-deadline-ms") {
+      args.query_deadline_ms = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--stats-interval") {
+      args.stats_interval = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--watchdog-stall-ms") {
+      args.watchdog_stall_ms = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--io-retries") {
+      args.io_retries = ParseIntValue(flag, need(i++));
+    } else if (flag == "--io-backoff-ms") {
+      args.io_backoff_ms = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--chaos-schedule") {
+      args.chaos_schedule = need(i++);
     } else if (flag == "--on-bad-input") {
       const std::string v = need(i++);
       if (v == "fail") {
@@ -264,7 +327,11 @@ Args Parse(int argc, char** argv) {
   return args;
 }
 
-// Pulls elements from either a CSV reader or a built-in generator.
+// Pulls elements from either a CSV reader or a built-in generator, and
+// stamps every produced element with the source position *after* it
+// (psky::IngestItem). The stamped positions are what checkpoints record:
+// they travel with the element through the ingest queue, so the consumer
+// never reads the live source state from another thread.
 class Source {
  public:
   Source(const Args& args, const psky::CheckpointState* resume_from)
@@ -291,9 +358,12 @@ class Source {
         synthetic_ = std::make_unique<psky::StreamGenerator>(cfg);
       }
       // Generators are deterministic in the seed: fast-forward by
-      // regenerating and discarding everything already consumed.
+      // regenerating and discarding everything already *produced*. The
+      // checkpointed next_seq is the produced count (generators assign
+      // seq 0, 1, 2, ... in production order), which under load shedding
+      // can exceed elements_consumed — shed elements are not replayed.
       if (resume_from != nullptr) {
-        for (uint64_t i = 0; i < resume_from->elements_consumed; ++i) {
+        for (uint64_t i = 0; i < resume_from->next_seq; ++i) {
           if (produced_ >= args_.count) break;
           ++produced_;
           if (stock_ != nullptr) {
@@ -312,6 +382,9 @@ class Source {
       // pipe on stdin simply continues with whatever arrives next.
       options.start_line = args.input.empty() ? 0 : resume_from->lines_consumed;
       options.start_seq = resume_from->next_seq;
+      // lines_read() restarts at the skipped prefix for files but from 0
+      // for a resumed stdin pipe; carry the checkpointed base in that case.
+      base_lines_ = args.input.empty() ? resume_from->lines_consumed : 0;
     }
     if (!args.input.empty()) {
       file_.open(args.input);
@@ -327,11 +400,27 @@ class Source {
     }
   }
 
-  std::optional<psky::UncertainElement> Next() {
-    if (csv_ != nullptr) return csv_->Next();
-    if (produced_ >= args_.count) return std::nullopt;
-    ++produced_;
-    return stock_ != nullptr ? stock_->Next() : synthetic_->Next();
+  std::optional<psky::IngestItem> NextItem() {
+    std::optional<psky::UncertainElement> e;
+    if (csv_ != nullptr) {
+      e = csv_->Next();
+    } else if (produced_ < args_.count) {
+      ++produced_;
+      e = stock_ != nullptr ? stock_->Next() : synthetic_->Next();
+    }
+    if (!e.has_value()) return std::nullopt;
+    psky::IngestItem item;
+    item.element = *e;
+    item.produced_after = ++total_produced_;
+    if (csv_ != nullptr) {
+      item.lines_after = base_lines_ + csv_->lines_read();
+      item.next_seq_after = csv_->next_seq();
+      item.skipped_after = csv_->skipped_lines();
+      item.clamped_after = csv_->probs_clamped();
+    } else {
+      item.next_seq_after = e->seq + 1;
+    }
+    return item;
   }
 
   const psky::CsvElementReader* csv() const { return csv_.get(); }
@@ -342,7 +431,9 @@ class Source {
   std::unique_ptr<psky::CsvElementReader> csv_;
   std::unique_ptr<psky::StreamGenerator> synthetic_;
   std::unique_ptr<psky::StockStreamGenerator> stock_;
-  size_t produced_ = 0;
+  size_t produced_ = 0;        // generator elements produced
+  uint64_t total_produced_ = 0;  // all items handed out (any source)
+  uint64_t base_lines_ = 0;
 };
 
 // Counters carried across restarts via the checkpoint.
@@ -353,38 +444,53 @@ struct CarriedCounters {
 };
 
 // --- crash quarantine ----------------------------------------------------
-// On PSKY_CHECK failure or a fatal signal, dump the window state and audit
-// counters for post-mortem replay. Best-effort by design: the process is
-// already dying, so the dump allocates and does file I/O; the reentrancy
-// guard in CheckFailed plus re-raising with SIG_DFL bound the damage if the
-// dump itself faults.
+// On PSKY_CHECK failure, a fatal signal, or an unrepaired integrity
+// violation, dump the window state and audit counters for post-mortem
+// replay. Best-effort by design: the process is already dying, so the dump
+// allocates and does file I/O; the recursion guard plus re-raising with
+// SIG_DFL bound the damage if the dump itself faults. Dumps are governed:
+// one per failure burst, each with a monotonic sequence number, so a CHECK
+// storm cannot bury the evidence under thousands of files.
 
 struct PostMortemContext {
   std::function<psky::CheckpointState()> snapshot;
   const psky::AuditManager* audit = nullptr;
   std::string dir = ".";
+  psky::QuarantineGovernor governor;
+  psky::RetryPolicy io_policy;            // transient write errors retried
+  psky::RetryStats* io_stats = nullptr;   // shared with checkpoint writes
+  bool dumping = false;                   // recursion guard
 };
 PostMortemContext g_postmortem;
 
 void DumpQuarantine(const std::string& reason) {
-  if (!g_postmortem.snapshot) return;
-  // One-shot: a CHECK failure aborts, and the SIGABRT handler must not
-  // dump a second time (nor should a fault inside the dump recurse).
-  const auto snapshot = std::move(g_postmortem.snapshot);
-  g_postmortem.snapshot = nullptr;
+  if (!g_postmortem.snapshot || g_postmortem.dumping) return;
+  g_postmortem.dumping = true;
   psky::QuarantineDump dump;
   dump.reason = reason;
   if (g_postmortem.audit != nullptr) dump.report = g_postmortem.audit->report();
-  dump.state = snapshot();
+  dump.state = g_postmortem.snapshot();
+  uint64_t dump_seq = 0;
+  if (!g_postmortem.governor.Admit(dump.state.elements_consumed, &dump_seq)) {
+    std::fprintf(stderr,
+                 "quarantine dump suppressed (same failure burst; %llu "
+                 "suppressed so far)\n",
+                 static_cast<unsigned long long>(
+                     g_postmortem.governor.dumps_suppressed()));
+    g_postmortem.dumping = false;
+    return;
+  }
   const std::string path =
       g_postmortem.dir + "/" +
-      psky::QuarantineFileName(dump.state.elements_consumed);
+      psky::QuarantineFileName(dump.state.elements_consumed, dump_seq);
   std::string error;
-  if (psky::WriteQuarantineFile(path, dump, &error)) {
+  if (psky::WriteQuarantineFileRetry(path, dump, g_postmortem.io_policy,
+                                     g_postmortem.io_stats, &error)) {
     std::fprintf(stderr, "quarantine dump written to %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "error: quarantine dump failed: %s\n", error.c_str());
   }
+  g_postmortem.dumping = false;
 }
 
 void QuarantineOnCheckFailure(const char* condition, const char* file,
@@ -410,10 +516,34 @@ void InstallQuarantineHandlers() {
   }
 }
 
+// Joins the ingest producer thread on every exit path; leaving a joinable
+// std::thread behind is std::terminate.
+struct ProducerJoiner {
+  psky::BoundedIngestQueue* queue = nullptr;
+  std::thread thread;
+  ~ProducerJoiner() {
+    if (thread.joinable()) {
+      if (queue != nullptr) queue->RequestStop();
+      thread.join();
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+
+  if (!args.chaos_schedule.empty()) {
+    std::string chaos_error;
+    if (!psky::fault::LoadSchedule(args.chaos_schedule, &chaos_error)) {
+      std::fprintf(stderr, "error: --chaos-schedule: %s\n",
+                   chaos_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "chaos schedule armed: %s\n",
+                 args.chaos_schedule.c_str());
+  }
 
   if (!args.checkpoint_dir.empty()) {
     std::string dir_error;
@@ -502,6 +632,22 @@ int main(int argc, char** argv) {
 
   Source source(args, resumed ? &resume_state : nullptr);
 
+  // Source position after the last *processed* element. Checkpoints are
+  // built from these carried values, never from the live source — with a
+  // producer thread, the source may already be far ahead (or being read
+  // concurrently). Elements produced but shed or still queued at
+  // checkpoint time are simply re-read on resume.
+  struct SourcePos {
+    uint64_t next_seq = 0;
+    uint64_t lines = 0;
+    uint64_t skipped = 0;
+    uint64_t clamped = 0;
+  } last;
+  if (resumed) {
+    last.next_seq = resume_state.next_seq;
+    last.lines = resume_state.lines_consumed;
+  }
+
   auto build_state = [&]() -> psky::CheckpointState {
     psky::CheckpointState state;
     state.dims = args.dims;
@@ -516,32 +662,33 @@ int main(int argc, char** argv) {
       state.window = count_window->Snapshot();
     }
     state.elements_consumed = step;
-    const psky::CsvElementReader* csv = source.csv();
-    if (csv != nullptr) {
-      state.lines_consumed =
-          (resumed && args.input.empty() ? resume_state.lines_consumed : 0) +
-          csv->lines_read();
-      state.next_seq = csv->next_seq();
-    } else {
-      state.next_seq = step;
-    }
-    state.bad_lines_skipped =
-        carried.bad_lines_skipped + (csv != nullptr ? csv->skipped_lines() : 0);
-    state.probs_clamped =
-        carried.probs_clamped + (csv != nullptr ? csv->probs_clamped() : 0);
+    state.lines_consumed = last.lines;
+    state.next_seq = last.next_seq;
+    state.bad_lines_skipped = carried.bad_lines_skipped + last.skipped;
+    state.probs_clamped = carried.probs_clamped + last.clamped;
     state.ooo_dropped =
         carried.ooo_dropped +
         (time_window != nullptr ? time_window->rejected() : 0);
     return state;
   };
 
+  psky::RetryPolicy io_policy;
+  io_policy.max_attempts = args.io_retries + 1;
+  io_policy.base_backoff_ms = args.io_backoff_ms;
+  io_policy.seed = args.seed ^ 0x9E3779B97F4A7C15ull;
+  psky::RetryStats io_stats;
+
   uint64_t checkpoints_written = 0;
   auto write_checkpoint = [&]() -> bool {
     const std::string path =
         args.checkpoint_dir + "/" + psky::CheckpointFileName(step);
     std::string error;
-    if (!psky::WriteCheckpointFile(path, build_state(), &error)) {
+    if (!psky::WriteCheckpointFileRetry(path, build_state(), io_policy,
+                                        &io_stats, &error)) {
       std::fprintf(stderr, "error: checkpoint failed: %s\n", error.c_str());
+      // The retry budget is exhausted (or the error was permanent): this
+      // run is about to exit 3, so preserve the evidence.
+      DumpQuarantine("checkpoint write failed: " + error);
       return false;
     }
     psky::PruneCheckpoints(args.checkpoint_dir, 2);
@@ -569,119 +716,307 @@ int main(int argc, char** argv) {
   g_postmortem.snapshot = build_state;
   g_postmortem.audit = &audit;
   g_postmortem.dir = args.checkpoint_dir.empty() ? "." : args.checkpoint_dir;
+  g_postmortem.io_policy = io_policy;
+  g_postmortem.io_stats = &io_stats;
   InstallQuarantineHandlers();
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
-  std::vector<psky::UncertainElement> expired;
-  std::vector<psky::UncertainElement> batch;
-  batch.reserve(args.batch_size);
+  // --- overload machinery ------------------------------------------------
+  const bool queue_mode = args.max_queue > 0;
+  std::unique_ptr<psky::BoundedIngestQueue> queue;
+  psky::DegradationLadder ladder(
+      psky::DegradationLadder::Options(),
+      [](int old_rung, int new_rung, double pressure) {
+        std::fprintf(stderr, "degradation: rung %d -> %d (pressure %.2f)\n",
+                     old_rung, new_rung, pressure);
+      });
+  psky::DegradationLadder::Effects effects;  // defaults: no degradation
+  if (queue_mode) {
+    queue = std::make_unique<psky::BoundedIngestQueue>(args.max_queue,
+                                                       args.overload_policy);
+  }
+
+  std::unique_ptr<psky::Watchdog> watchdog;
+  if (args.watchdog_stall_ms > 0) {
+    psky::Watchdog::Options wd;
+    wd.stall_ms = args.watchdog_stall_ms;
+    wd.task_stall_ms = args.watchdog_stall_ms;
+    wd.poll_ms = std::max<uint64_t>(10, std::min<uint64_t>(
+                                            100, args.watchdog_stall_ms / 4));
+    watchdog = std::make_unique<psky::Watchdog>(wd, [](const std::string& w) {
+      std::fprintf(stderr, "watchdog: %s\n", w.c_str());
+    });
+    if (pool != nullptr) watchdog->WatchPool(pool.get());
+    watchdog->Start();
+  }
+
+  const uint64_t resume_step = step;
+  uint64_t processed_items = 0;
+  auto heartbeat_last = std::chrono::steady_clock::now();
+  uint64_t heartbeat_last_step = step;
+
   bool stopped_by_signal = false;
-  bool source_done = false;
-  while (!source_done) {
-    if (g_stop_requested != 0) {
-      stopped_by_signal = true;
-      break;
+  std::vector<psky::UncertainElement> expired;
+
+  // Processes one admitted element through the expire-before-insert cycle
+  // plus all per-step bookkeeping. Returns -1 to continue, or an exit code.
+  auto process_item = [&](const psky::IngestItem& item) -> int {
+    if (psky::fault::Enabled()) {
+      psky::fault::MaybeDelay(psky::fault::Site::kStep);
     }
-    // Pull up to batch_size elements, then feed them through the
-    // expire-before-insert cycle one by one — identical semantics to the
-    // unbatched loop (see StreamProcessor::StepBatch), with source
-    // dispatch and the stop-signal test amortized across the batch.
-    batch.clear();
-    while (batch.size() < args.batch_size) {
-      auto element = source.Next();
-      if (!element.has_value()) {
-        source_done = true;
+    const psky::UncertainElement& element = item.element;
+    if (time_window != nullptr) {
+      expired.clear();
+      psky::UncertainElement incoming = element;
+      if (!time_window->TryPush(&incoming, &expired)) {
+        // Late timestamp under --ooo-policy reject: treat like a
+        // malformed line.
+        if (args.on_bad_input == psky::BadInputPolicy::kFail) {
+          std::fprintf(
+              stderr,
+              "error: line %llu: out-of-order timestamp %g is behind "
+              "watermark %g (see --ooo-policy)\n",
+              static_cast<unsigned long long>(
+                  source.csv() != nullptr ? item.lines_after : step + 1),
+              incoming.time, time_window->watermark());
+          return 2;
+        }
+        // The element was consumed even though it was dropped: advance the
+        // carried source position so a checkpoint does not replay it.
+        last.next_seq = item.next_seq_after;
+        last.lines = item.lines_after;
+        last.skipped = item.skipped_after;
+        last.clamped = item.clamped_after;
+        return -1;
+      }
+      for (const auto& old : expired) op.Expire(old);
+      op.Insert(incoming);
+    } else {
+      if (count_window->full()) {
+        op.Expire(count_window->PushRotate(element));
+      } else {
+        count_window->Push(element);
+      }
+      op.Insert(element);
+    }
+    ++step;
+    last.next_seq = item.next_seq_after;
+    last.lines = item.lines_after;
+    last.skipped = item.skipped_after;
+    last.clamped = item.clamped_after;
+
+    if (args.inject_drift_at != 0 && step == args.inject_drift_at) {
+      // Corrupt the newest live candidate's P_old in place — the class of
+      // damage drift accumulation produces, writ large. P_new is left
+      // alone: it also drives candidate retention, so damaging it can
+      // cause an eviction (unrepairable by design) before the auditor's
+      // next pass.
+      const auto window = time_window != nullptr ? time_window->Snapshot()
+                                                 : count_window->Snapshot();
+      for (auto it = window.rbegin(); it != window.rend(); ++it) {
+        const auto view = op.tree().LookupForAudit(it->pos, it->seq);
+        if (!view.found) continue;
+        op.mutable_tree()->RepairElement(it->pos, it->seq, view.pnew_log,
+                                         view.pold_log - 2.0);
+        std::fprintf(stderr, "injected drift into seq %llu at step %llu\n",
+                     static_cast<unsigned long long>(it->seq),
+                     static_cast<unsigned long long>(step));
         break;
       }
-      batch.push_back(*element);
     }
-    for (const auto& element : batch) {
-      if (time_window != nullptr) {
-        expired.clear();
-        psky::UncertainElement incoming = element;
-        if (!time_window->TryPush(&incoming, &expired)) {
-          // Late timestamp under --ooo-policy reject: treat like a
-          // malformed line.
-          if (args.on_bad_input == psky::BadInputPolicy::kFail) {
-            const psky::CsvElementReader* csv = source.csv();
-            std::fprintf(
-                stderr,
-                "error: line %llu: out-of-order timestamp %g is behind "
-                "watermark %g (see --ooo-policy)\n",
-                static_cast<unsigned long long>(
-                    csv != nullptr ? csv->lines_read() : step + 1),
-                incoming.time, time_window->watermark());
-            return 2;
-          }
-          continue;
-        }
-        for (const auto& old : expired) op.Expire(old);
-        op.Insert(incoming);
-      } else {
-        if (count_window->full()) {
-          op.Expire(count_window->PushRotate(element));
-        } else {
-          count_window->Push(element);
-        }
-        op.Insert(element);
-      }
-      ++step;
 
-      if (args.inject_drift_at != 0 && step == args.inject_drift_at) {
-        // Corrupt the newest live candidate's P_old in place — the class of
-        // damage drift accumulation produces, writ large. P_new is left
-        // alone: it also drives candidate retention, so damaging it can
-        // cause an eviction (unrepairable by design) before the auditor's
-        // next pass.
-        const auto window = time_window != nullptr ? time_window->Snapshot()
-                                                   : count_window->Snapshot();
-        for (auto it = window.rbegin(); it != window.rend(); ++it) {
-          const auto view = op.tree().LookupForAudit(it->pos, it->seq);
-          if (!view.found) continue;
-          op.mutable_tree()->RepairElement(it->pos, it->seq, view.pnew_log,
-                                           view.pold_log - 2.0);
-          std::fprintf(stderr, "injected drift into seq %llu at step %llu\n",
-                       static_cast<unsigned long long>(it->seq),
-                       static_cast<unsigned long long>(step));
+    if (!audit.Step() && args.strict) {
+      char reason[96];
+      std::snprintf(reason, sizeof reason,
+                    "unrepaired integrity violation at step %llu",
+                    static_cast<unsigned long long>(step));
+      std::fprintf(stderr, "error: %s\n", reason);
+      DumpQuarantine(reason);
+      return 4;
+    }
+
+    if (args.emit == "deltas") {
+      const auto delta = op.TakeSkylineDelta();
+      for (uint64_t seq : delta.left) {
+        std::printf("-%llu\n", static_cast<unsigned long long>(seq));
+      }
+      for (uint64_t seq : delta.entered) {
+        std::printf("+%llu\n", static_cast<unsigned long long>(seq));
+      }
+    } else if (args.emit == "counts" && args.every > 0 &&
+               step % args.every == 0) {
+      std::printf("step=%llu candidates=%zu skyline=%zu\n",
+                  static_cast<unsigned long long>(step), op.candidate_count(),
+                  op.skyline_count());
+    }
+
+    if (args.stats_interval > 0 && step % args.stats_interval == 0) {
+      const auto now = std::chrono::steady_clock::now();
+      const double secs =
+          std::chrono::duration<double>(now - heartbeat_last).count();
+      const double eps =
+          secs > 0.0
+              ? static_cast<double>(step - heartbeat_last_step) / secs
+              : 0.0;
+      heartbeat_last = now;
+      heartbeat_last_step = step;
+      const psky::QueueStats qs =
+          queue != nullptr ? queue->StatsSnapshot() : psky::QueueStats{};
+      std::fprintf(
+          stderr,
+          "heartbeat step=%llu eps=%.0f queue=%zu/%zu "
+          "drops=oldest:%llu,lowprob:%llu,incoming:%llu rung=%d "
+          "audit-lag=%llu\n",
+          static_cast<unsigned long long>(step), eps,
+          queue != nullptr ? queue->depth() : 0,
+          queue != nullptr ? queue->capacity() : 0,
+          static_cast<unsigned long long>(qs.shed_oldest),
+          static_cast<unsigned long long>(qs.shed_low_prob),
+          static_cast<unsigned long long>(qs.shed_incoming), ladder.rung(),
+          static_cast<unsigned long long>(audit.steps_since_last_audit()));
+    }
+
+    const uint64_t ckpt_every =
+        args.checkpoint_every * effects.checkpoint_stretch;
+    if (args.checkpoint_every > 0 && step % ckpt_every == 0) {
+      if (!write_checkpoint()) return 3;
+    }
+    return -1;
+  };
+
+  int exit_code = -1;
+  if (!queue_mode) {
+    // Classic synchronous loop: produce and consume on one thread. This
+    // path is byte-identical to previous releases when the new flags are
+    // off.
+    std::vector<psky::IngestItem> batch;
+    batch.reserve(args.batch_size);
+    bool source_done = false;
+    while (!source_done && exit_code < 0) {
+      if (g_stop_requested != 0) {
+        stopped_by_signal = true;
+        break;
+      }
+      // Pull up to batch_size elements, then feed them through the
+      // expire-before-insert cycle one by one — identical semantics to the
+      // unbatched loop (see StreamProcessor::StepBatch), with source
+      // dispatch and the stop-signal test amortized across the batch.
+      batch.clear();
+      while (batch.size() < args.batch_size) {
+        auto item = source.NextItem();
+        if (!item.has_value()) {
+          source_done = true;
           break;
         }
+        batch.push_back(std::move(*item));
       }
-
-      if (!audit.Step() && args.strict) {
-        char reason[96];
-        std::snprintf(reason, sizeof reason,
-                      "unrepaired integrity violation at step %llu",
-                      static_cast<unsigned long long>(step));
-        std::fprintf(stderr, "error: %s\n", reason);
-        DumpQuarantine(reason);
-        return 4;
+      if (watchdog != nullptr) watchdog->SetBusy(true);
+      for (const auto& item : batch) {
+        ++processed_items;
+        exit_code = process_item(item);
+        if (exit_code >= 0) break;
       }
-
-      if (args.emit == "deltas") {
-        const auto delta = op.TakeSkylineDelta();
-        for (uint64_t seq : delta.left) {
-          std::printf("-%llu\n", static_cast<unsigned long long>(seq));
-        }
-        for (uint64_t seq : delta.entered) {
-          std::printf("+%llu\n", static_cast<unsigned long long>(seq));
-        }
-      } else if (args.emit == "counts" && args.every > 0 &&
-                 step % args.every == 0) {
-        std::printf("step=%llu candidates=%zu skyline=%zu\n",
-                    static_cast<unsigned long long>(step), op.candidate_count(),
-                    op.skyline_count());
-      }
-
-      if (args.checkpoint_every > 0 && step % args.checkpoint_every == 0) {
-        if (!write_checkpoint()) return 3;
+      if (watchdog != nullptr) {
+        watchdog->OnStep(step);
+        watchdog->SetBusy(false);
       }
     }
+  } else {
+    // Threaded ingest: the producer owns the source and pushes stamped
+    // items through the bounded queue; this thread consumes, observes
+    // queue pressure, and walks the degradation ladder.
+    std::atomic<uint64_t> produced_total{0};
+    ProducerJoiner producer;
+    producer.queue = queue.get();
+    producer.thread = std::thread([&source, &produced_total, q = queue.get()]() {
+      for (;;) {
+        auto item = source.NextItem();
+        if (!item.has_value()) break;
+        produced_total.fetch_add(1, std::memory_order_relaxed);
+        if (!q->Push(std::move(*item))) break;  // stop requested
+      }
+      q->CloseProducer();
+    });
+
+    std::vector<psky::IngestItem> items;
+    bool stop_handled = false;
+    while (exit_code < 0) {
+      if (g_stop_requested != 0 && !stop_handled) {
+        stop_handled = true;
+        stopped_by_signal = true;
+        // Graceful drain: stop the producer (a blocked push fails fast),
+        // then keep consuming until the queue is empty so no admitted
+        // element is lost.
+        queue->RequestStop();
+        producer.thread.join();
+      }
+      const size_t pop_max = args.batch_size * effects.batch_multiplier;
+      const size_t n = queue->PopBatch(&items, pop_max, 50);
+      if (n == 0) {
+        if (queue->drained()) break;
+        if (watchdog != nullptr) watchdog->SetBusy(false);
+        continue;
+      }
+      if (watchdog != nullptr) watchdog->SetBusy(true);
+      for (const auto& item : items) {
+        ++processed_items;
+        exit_code = process_item(item);
+        if (exit_code >= 0) break;
+      }
+      if (watchdog != nullptr) {
+        watchdog->OnStep(step);
+        watchdog->SetBusy(false);
+      }
+      ladder.Observe(queue->pressure());
+      effects = ladder.effects();
+      audit.SetDegradation(effects.suspend_oracle, effects.audit_stretch);
+    }
+    if (producer.thread.joinable()) {
+      queue->RequestStop();
+      producer.thread.join();
+    }
+
+    if (exit_code < 0) {
+      // Exact shed accounting: every produced element must be processed,
+      // shed under a named policy, or refused after the stop request.
+      const psky::QueueStats qs = queue->StatsSnapshot();
+      const uint64_t produced = produced_total.load();
+      const uint64_t consumed_side = qs.dequeued + qs.shed_oldest +
+                                     qs.shed_low_prob + queue->depth();
+      const uint64_t produced_side =
+          qs.enqueued + qs.shed_incoming + qs.dropped_on_stop;
+      const bool exact = qs.enqueued == consumed_side &&
+                         produced == produced_side &&
+                         qs.dequeued == processed_items;
+      const psky::DegradationLadder::Stats& ls = ladder.stats();
+      std::fprintf(
+          stderr,
+          "overload: policy=%s enqueued=%llu dequeued=%llu "
+          "shed-oldest=%llu shed-low-prob=%llu shed-incoming=%llu "
+          "dropped-on-stop=%llu producer-blocks=%llu peak-depth=%zu "
+          "rung=%d peak-rung=%d escalations=%llu recoveries=%llu "
+          "shed-accounting=%s\n",
+          psky::OverloadPolicyName(args.overload_policy),
+          static_cast<unsigned long long>(qs.enqueued),
+          static_cast<unsigned long long>(qs.dequeued),
+          static_cast<unsigned long long>(qs.shed_oldest),
+          static_cast<unsigned long long>(qs.shed_low_prob),
+          static_cast<unsigned long long>(qs.shed_incoming),
+          static_cast<unsigned long long>(qs.dropped_on_stop),
+          static_cast<unsigned long long>(qs.producer_blocks),
+          qs.peak_depth, ls.rung, ls.peak_rung,
+          static_cast<unsigned long long>(ls.escalations),
+          static_cast<unsigned long long>(ls.recoveries),
+          exact ? "exact" : "BROKEN");
+    }
   }
+  if (exit_code >= 0) return exit_code;
 
   // A reader that stopped on malformed input (fail-fast, or the skip
   // budget ran out) is a hard input error: exit 2 with the line number.
+  // Safe to touch the source here: the producer (if any) has been joined.
   const psky::CsvElementReader* csv = source.csv();
   if (!stopped_by_signal && csv != nullptr && !csv->ok()) {
     std::fprintf(stderr, "error: %s\n", csv->error().c_str());
@@ -693,8 +1028,17 @@ int main(int argc, char** argv) {
   }
 
   if (args.emit == "final" || args.topk > 0) {
-    const auto members =
-        args.topk > 0 ? op.tree().TopK(args.topk) : op.Skyline();
+    std::vector<psky::SkylineMember> members;
+    bool complete = true;
+    if (args.query_deadline_ms > 0) {
+      const psky::QueryControl ctl = psky::QueryControl::WithDeadline(
+          std::chrono::milliseconds(args.query_deadline_ms));
+      complete = args.topk > 0
+                     ? op.tree().TopK(args.topk, ctl, &members)
+                     : op.tree().CollectAtLeast(args.q, ctl, &members);
+    } else {
+      members = args.topk > 0 ? op.tree().TopK(args.topk) : op.Skyline();
+    }
     for (const auto& m : members) {
       if (args.topk > 0 && m.psky < args.q) break;
       std::printf("seq=%llu psky=%.6f pos=",
@@ -704,18 +1048,24 @@ int main(int argc, char** argv) {
       }
       std::printf(" prob=%g\n", m.element.prob);
     }
+    if (!complete) {
+      std::fprintf(stderr,
+                   "final query deadline of %llu ms exceeded; emitted %zu "
+                   "partial result(s)\n",
+                   static_cast<unsigned long long>(args.query_deadline_ms),
+                   members.size());
+    }
   }
 
-  const uint64_t skipped =
-      carried.bad_lines_skipped + (csv != nullptr ? csv->skipped_lines() : 0);
-  const uint64_t clamped =
-      carried.probs_clamped + (csv != nullptr ? csv->probs_clamped() : 0);
+  const uint64_t skipped = carried.bad_lines_skipped + last.skipped;
+  const uint64_t clamped = carried.probs_clamped + last.clamped;
   const uint64_t ooo =
       carried.ooo_dropped +
       (time_window != nullptr ? time_window->rejected() : 0);
   std::fprintf(stderr, "processed %llu elements; |S|=%zu |SKY|=%zu\n",
                static_cast<unsigned long long>(step), op.candidate_count(),
                op.skyline_count());
+  (void)resume_step;
   if (skipped > 0 || clamped > 0 || ooo > 0) {
     std::fprintf(stderr,
                  "skipped %llu malformed lines, clamped %llu probabilities, "
@@ -728,6 +1078,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %llu checkpoint(s) to %s\n",
                  static_cast<unsigned long long>(checkpoints_written),
                  args.checkpoint_dir.c_str());
+  }
+  if (args.io_retries > 0 || io_stats.retries > 0) {
+    std::fprintf(stderr,
+                 "io-retry: attempts=%llu retries=%llu backoff-ms=%llu "
+                 "exhausted=%llu permanent=%llu\n",
+                 static_cast<unsigned long long>(io_stats.attempts),
+                 static_cast<unsigned long long>(io_stats.retries),
+                 static_cast<unsigned long long>(io_stats.backoff_ms_total),
+                 static_cast<unsigned long long>(io_stats.exhausted),
+                 static_cast<unsigned long long>(io_stats.permanent_failures));
+  }
+  if (psky::fault::Enabled()) {
+    const psky::fault::Stats fs = psky::fault::StatsSnapshot();
+    std::fprintf(stderr,
+                 "chaos: failures=%llu delays=%llu delay-ms=%llu\n",
+                 static_cast<unsigned long long>(fs.failures_injected),
+                 static_cast<unsigned long long>(fs.delays_injected),
+                 static_cast<unsigned long long>(fs.delay_ms_total));
+  }
+  if (watchdog != nullptr) {
+    watchdog->Stop();
+    const psky::Watchdog::Stats ws = watchdog->StatsSnapshot();
+    std::fprintf(stderr,
+                 "watchdog: step-stalls=%llu pool-stalls=%llu "
+                 "max-gap-ms=%llu\n",
+                 static_cast<unsigned long long>(ws.step_stalls),
+                 static_cast<unsigned long long>(ws.pool_stalls),
+                 static_cast<unsigned long long>(ws.max_step_gap_ms));
   }
   if (args.audit_mode != psky::AuditMode::kOff) {
     audit.Drain();  // harvest any in-flight asynchronous oracle verdict
