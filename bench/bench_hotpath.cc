@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "bench/bench_common.h"
 #include "core/ssky_operator.h"
 #include "geom/dominance_kernel.h"
+#include "store/wal.h"
 #include "stream/generator.h"
 
 namespace psky::bench {
@@ -54,8 +56,12 @@ double Percentile(std::vector<double>* samples, double p) {
   return (*samples)[idx];
 }
 
+// Group-commit cadence matching psky_stream's --wal-sync-every default,
+// so the wal-on row reflects the durability cost a production run pays.
+constexpr uint64_t kWalSyncEvery = 4096;
+
 WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
-                           const Scale& scale) {
+                           const Scale& scale, bool wal_on) {
   StreamConfig cfg;
   cfg.dims = kDims;
   cfg.spatial = spatial;
@@ -64,6 +70,20 @@ WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
 
   SskyOperator op(kDims, kQ);
   StreamProcessor proc(&op, scale.w);
+
+  const std::string wal_dir = "bench-wal-tmp";
+  WalWriter wal;
+  if (wal_on) {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    std::string error;
+    int saved_errno = 0;
+    if (!wal.Create(wal_dir + "/" + WalFileName(0), kDims, 0, &error,
+                    &saved_errno)) {
+      std::fprintf(stderr, "error: bench WAL: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
 
   WorkloadResult result;
   result.name = name;
@@ -83,6 +103,22 @@ WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
     // expiries and would skew them optimistically.
     if (!steady && fed >= scale.w) steady = true;
     Timer t;
+    if (wal_on) {
+      std::string error;
+      int saved_errno = 0;
+      WalRecord r;
+      for (size_t i = 0; i < take; ++i) {
+        r.element = batch[i];
+        r.step_after = static_cast<uint64_t>(fed + i) + 1;
+        r.next_seq_after = r.element.seq + 1;
+        if (!wal.Append(r, &error, &saved_errno) ||
+            (wal.pending() >= kWalSyncEvery &&
+             !wal.Sync(&error, &saved_errno))) {
+          std::fprintf(stderr, "error: bench WAL: %s\n", error.c_str());
+          std::exit(1);
+        }
+      }
+    }
     proc.StepBatch(batch);
     if (steady) {
       step_us.push_back(t.ElapsedMicros() / static_cast<double>(take));
@@ -95,7 +131,9 @@ WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
       result.max_skyline = op.skyline_count();
     }
   }
+  if (wal_on) wal.Close();  // final group commit counts; deletion doesn't
   result.total_seconds = total.ElapsedSeconds();
+  if (wal_on) std::filesystem::remove_all(wal_dir);
   result.elements_per_second =
       static_cast<double>(scale.n) / result.total_seconds;
   result.p50_step_us = Percentile(&step_us, 0.50);
@@ -130,25 +168,43 @@ int main(int argc, char** argv) {
   const Scale scale = GetScale();
   PrintHeader("hot-path throughput (SSKY, d=3, q=0.3, batched)", scale);
 
+  // "inde_wal" repeats the independent workload with the write-ahead log
+  // stamping every element (group commit as in psky_stream --wal); the
+  // inde vs inde_wal throughput gap is reported as wal_overhead and
+  // gated by tools/bench_report.py at full scale.
   const struct {
     const char* name;
     psky::SpatialDistribution spatial;
+    bool wal_on;
   } kWorkloads[] = {
-      {"anti", psky::SpatialDistribution::kAntiCorrelated},
-      {"inde", psky::SpatialDistribution::kIndependent},
-      {"corr", psky::SpatialDistribution::kCorrelated},
+      {"anti", psky::SpatialDistribution::kAntiCorrelated, false},
+      {"inde", psky::SpatialDistribution::kIndependent, false},
+      {"corr", psky::SpatialDistribution::kCorrelated, false},
+      {"inde_wal", psky::SpatialDistribution::kIndependent, true},
   };
 
   std::vector<WorkloadResult> results;
   for (const auto& w : kWorkloads) {
-    WorkloadResult r = RunWorkload(w.name, w.spatial, scale);
+    WorkloadResult r = RunWorkload(w.name, w.spatial, scale, w.wal_on);
     std::printf(
-        "%-5s %10.0f elem/s  total %7.3fs  p50 %7.3fus  p99 %7.3fus  "
+        "%-8s %10.0f elem/s  total %7.3fs  p50 %7.3fus  p99 %7.3fus  "
         "|S|max=%zu |SKY|max=%zu\n",
         r.name.c_str(), r.elements_per_second, r.total_seconds,
         r.p50_step_us, r.p99_step_us, r.max_candidates, r.max_skyline);
     results.push_back(std::move(r));
   }
+
+  double wal_overhead = 0.0;
+  for (const auto& r : results) {
+    if (r.name == "inde_wal") {
+      for (const auto& b : results) {
+        if (b.name == "inde" && b.elements_per_second > 0.0) {
+          wal_overhead = 1.0 - r.elements_per_second / b.elements_per_second;
+        }
+      }
+    }
+  }
+  std::printf("wal overhead vs inde: %+.1f%%\n", wal_overhead * 100.0);
 
   std::string json;
   char buf[512];
@@ -162,9 +218,10 @@ int main(int argc, char** argv) {
                 "  \"q\": %.2f,\n"
                 "  \"batch_size\": %zu,\n"
                 "  \"kernel_variant\": \"%s\",\n"
+                "  \"wal_overhead\": %.4f,\n"
                 "  \"workloads\": {\n",
                 scale.name, scale.n, scale.w, kDims, kQ, kBatch,
-                psky::DominanceKernelVariant());
+                psky::DominanceKernelVariant(), wal_overhead);
   json += buf;
   for (size_t i = 0; i < results.size(); ++i) {
     AppendWorkloadJson(&json, results[i], i + 1 == results.size());

@@ -1,5 +1,7 @@
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used to detect
-// corruption in checkpoint files. Table-driven, one byte per step; no
+// corruption in checkpoint and WAL files. Slicing-by-8: eight derived
+// tables let the hot loop fold 8 bytes per iteration instead of 1, which
+// matters on the WAL append path where every record is checksummed. No
 // external dependency so the library stays self-contained.
 
 #ifndef PSKY_BASE_CRC32_H_
@@ -8,34 +10,67 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace psky {
 
 namespace internal {
 
-constexpr std::array<uint32_t, 256> MakeCrc32Table() {
-  std::array<uint32_t, 256> table{};
+// kCrc32Tables[0] is the classic byte-at-a-time table; table k extends
+// it so that kCrc32Tables[k][b] is the CRC of byte b followed by k zero
+// bytes. Folding one table lookup per input byte across 8 staggered
+// tables gives the same polynomial division as the serial loop.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeCrc32Tables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+inline constexpr std::array<std::array<uint32_t, 256>, 8> kCrc32Tables =
+    MakeCrc32Tables();
+
+// Back-compat alias for the byte-at-a-time table.
+inline constexpr const std::array<uint32_t, 256>& kCrc32Table =
+    kCrc32Tables[0];
 
 }  // namespace internal
 
 /// CRC-32 of `len` bytes at `data`. Pass a previous result as `seed` to
 /// checksum data in chunks: Crc32(b, nb, Crc32(a, na)) == Crc32(a+b).
 inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  using internal::kCrc32Tables;
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
+  // The 8-byte folding assumes little-endian loads, like every other
+  // wire-format reader in this codebase (base/wire.h).
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kCrc32Tables[7][lo & 0xFFu] ^ kCrc32Tables[6][(lo >> 8) & 0xFFu] ^
+        kCrc32Tables[5][(lo >> 16) & 0xFFu] ^ kCrc32Tables[4][lo >> 24] ^
+        kCrc32Tables[3][hi & 0xFFu] ^ kCrc32Tables[2][(hi >> 8) & 0xFFu] ^
+        kCrc32Tables[1][(hi >> 16) & 0xFFu] ^ kCrc32Tables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
   for (size_t i = 0; i < len; ++i) {
-    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = kCrc32Tables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

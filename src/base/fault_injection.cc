@@ -39,8 +39,9 @@ std::mutex g_mu;
 Schedule g_schedule;  // guarded by g_mu
 
 constexpr const char* kSiteNames[kSiteCount] = {
-    "ckpt-open",  "ckpt-write", "ckpt-fsync", "ckpt-rename",
-    "qrtn-write", "pool-task",  "step",
+    "ckpt-open",  "ckpt-write",  "ckpt-fsync", "ckpt-rename",
+    "qrtn-write", "pool-task",   "step",       "wal-append",
+    "wal-fsync",  "segment-map", "segment-recycle",
 };
 
 bool ParseU64(std::string_view s, uint64_t* out) {

@@ -1,0 +1,232 @@
+#include "store/recovery.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace psky {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+void Note(std::string* notes, const std::string& msg) {
+  if (!notes->empty()) notes->append("; ");
+  notes->append(msg);
+}
+
+bool ParsePaddedU64(const std::string& digits, uint64_t* out) {
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+// Collects the contiguous run of WAL records following `base_step` from
+// the rotation chain in `dir`: records with step_after = base_step + 1,
+// base_step + 2, ... taken across consecutive files. Stops (with a note)
+// at the first gap or unreadable stretch; everything collected is safe
+// to apply in order. Also reports the newest readable WAL file so the
+// resumed run can keep appending to it.
+struct ChainScan {
+  std::vector<WalRecord> records;
+  std::string active_wal;
+  uint64_t active_wal_start = 0;
+  bool tail_truncated = false;
+  bool any_readable = false;
+  std::string notes;
+};
+
+ChainScan ScanWalChain(const std::string& dir, uint64_t base_step) {
+  ChainScan scan;
+  const std::vector<std::string> files = ListWalFiles(dir);
+  // The chain relevant to `base_step` starts at the last file whose
+  // start step is at or below it; earlier files only hold older records.
+  size_t first = 0;
+  for (size_t i = 0; i < files.size(); ++i) {
+    uint64_t start = 0;
+    if (ParseWalStartStep(files[i], &start) && start <= base_step) first = i;
+  }
+  uint64_t expected = base_step + 1;
+  bool chain_broken = false;
+  for (size_t i = first; i < files.size(); ++i) {
+    WalContents contents;
+    std::string file_error;
+    if (!ReadWalFile(files[i], &contents, &file_error)) {
+      Note(&scan.notes, file_error);
+      chain_broken = true;
+      continue;
+    }
+    scan.any_readable = true;
+    scan.active_wal = files[i];
+    scan.active_wal_start = contents.start_step;
+    if (contents.tail_truncated) {
+      scan.tail_truncated = true;
+      Note(&scan.notes, files[i] + ": " + contents.tail_diagnostic);
+    }
+    if (chain_broken) continue;  // still track the append target
+    for (const WalRecord& r : contents.records) {
+      if (r.step_after < expected) continue;  // pre-base or duplicate
+      if (r.step_after != expected) {
+        Note(&scan.notes, files[i] + ": gap before step " +
+                              std::to_string(r.step_after) + " (expected " +
+                              std::to_string(expected) + ")");
+        chain_broken = true;
+        break;
+      }
+      scan.records.push_back(r);
+      ++expected;
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+bool ParseCheckpointStep(const std::string& path, uint64_t* step) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  if (name.size() != CheckpointFileName(0).size() ||
+      name.rfind("ckpt-", 0) != 0 ||
+      name.compare(name.size() - 5, 5, ".psky") != 0) {
+    return false;
+  }
+  return ParsePaddedU64(name.substr(5, 20), step);
+}
+
+bool RecoverState(const std::string& dir, RecoveredState* out,
+                  std::string* error) {
+  RecoveredState state;
+  std::string ckpt_error;
+  state.has_checkpoint =
+      LoadLatestCheckpoint(dir, &state.checkpoint, &ckpt_error);
+  if (!state.has_checkpoint) {
+    state.checkpoint = CheckpointState{};
+    if (!ckpt_error.empty()) Note(&state.notes, ckpt_error);
+  } else if (!ckpt_error.empty()) {
+    Note(&state.notes, ckpt_error);  // older corrupt files, warnings only
+  }
+
+  ChainScan scan = ScanWalChain(dir, state.checkpoint.elements_consumed);
+  state.tail = std::move(scan.records);
+  state.active_wal = scan.active_wal;
+  state.active_wal_start = scan.active_wal_start;
+  state.tail_truncated = scan.tail_truncated;
+  if (!scan.notes.empty()) Note(&state.notes, scan.notes);
+
+  if (!state.has_checkpoint && !scan.any_readable) {
+    return Fail(error, state.notes.empty()
+                           ? "nothing to recover in " + dir
+                           : "nothing to recover in " + dir + ": " +
+                                 state.notes);
+  }
+  *out = std::move(state);
+  return true;
+}
+
+bool ParseReplayTarget(const std::string& spec, ReplayTarget* out,
+                       std::string* error) {
+  ReplayTarget target;
+  if (spec.rfind("ts:", 0) == 0) {
+    const std::string value = spec.substr(3);
+    char* end = nullptr;
+    target.kind = ReplayTarget::Kind::kTime;
+    target.time = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      return Fail(error, "bad --replay-at timestamp '" + value + "'");
+    }
+  } else {
+    target.kind = ReplayTarget::Kind::kStep;
+    if (!ParsePaddedU64(spec, &target.step) || spec.empty()) {
+      return Fail(error, "bad --replay-at position '" + spec +
+                             "' (want a step count or ts:<seconds>)");
+    }
+  }
+  *out = target;
+  return true;
+}
+
+bool PlanReplay(const std::string& dir, const ReplayTarget& target,
+                RecoveredState* out, std::string* error) {
+  RecoveredState state;
+
+  // Newest checkpoint whose state is a prefix of the target sequence.
+  // For a step target that is any checkpoint at or before the step; for
+  // a time target the admitted-timestamp monotonicity (window policies
+  // reject or clamp out-of-order arrivals) makes "newest window element
+  // at or before T" the same prefix condition.
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  for (const std::string& path : files) {  // newest first
+    uint64_t step = 0;
+    if (!ParseCheckpointStep(path, &step)) continue;
+    if (target.kind == ReplayTarget::Kind::kStep && step > target.step) {
+      continue;
+    }
+    CheckpointState candidate;
+    std::string file_error;
+    if (!ReadCheckpointFile(path, &candidate, &file_error)) {
+      Note(&state.notes, file_error);
+      continue;
+    }
+    if (target.kind == ReplayTarget::Kind::kTime &&
+        !candidate.window.empty() &&
+        candidate.window.back().time > target.time) {
+      continue;
+    }
+    state.checkpoint = std::move(candidate);
+    state.has_checkpoint = true;
+    break;
+  }
+
+  const uint64_t base_step =
+      state.has_checkpoint ? state.checkpoint.elements_consumed : 0;
+  ChainScan scan = ScanWalChain(dir, base_step);
+  if (!scan.notes.empty()) Note(&state.notes, scan.notes);
+  state.tail_truncated = scan.tail_truncated;
+  state.active_wal = scan.active_wal;
+  state.active_wal_start = scan.active_wal_start;
+
+  if (target.kind == ReplayTarget::Kind::kStep) {
+    if (base_step > target.step) {
+      return Fail(error, "replay target " + std::to_string(target.step) +
+                             " predates the oldest retained checkpoint");
+    }
+    const uint64_t need = target.step - base_step;
+    if (scan.records.size() < need) {
+      return Fail(error,
+                  "replay target " + std::to_string(target.step) +
+                      " is beyond retained WAL coverage (have steps up to " +
+                      std::to_string(base_step + scan.records.size()) + ")");
+    }
+    scan.records.resize(need);
+  } else {
+    size_t keep = 0;
+    while (keep < scan.records.size() &&
+           scan.records[keep].element.time <= target.time) {
+      ++keep;
+    }
+    scan.records.resize(keep);
+  }
+  if (!state.has_checkpoint) {
+    // With no checkpoint base the WAL must cover the stream from the
+    // start; ScanWalChain already enforced contiguity from step 1.
+    if (!scan.records.empty() && scan.records.front().step_after != 1) {
+      return Fail(error, "replay target predates retained WAL history");
+    }
+    if (scan.records.empty() && !scan.any_readable) {
+      return Fail(error, "nothing to replay in " + dir +
+                             (state.notes.empty() ? "" : ": " + state.notes));
+    }
+  }
+  state.tail = std::move(scan.records);
+  *out = std::move(state);
+  return true;
+}
+
+}  // namespace psky

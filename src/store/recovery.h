@@ -1,0 +1,96 @@
+// Crash recovery and deterministic historical replay over the durable
+// stores: checkpoints (core/checkpoint.h) plus the write-ahead element
+// log (store/wal.h).
+//
+// Recovery contract: the state reconstructed from the latest valid
+// checkpoint plus the WAL tail is bit-identical to the state an
+// uninterrupted run had at the same stream position, because operator
+// state is a pure function of the admitted element sequence (paper
+// Theorems 2-4) and both stores capture that sequence exactly. Records
+// past the last group-commit sync may be missing after a crash; for
+// replayable sources the caller re-reads them from the source using the
+// last surviving record's position stamps, so the final output is still
+// bit-identical.
+//
+// Historical replay answers "what was the q-skyline at position P (or
+// time T)?" as a first-class query: pick the newest retained checkpoint
+// at or before the target, replay WAL records up to it, and hand the
+// caller the exact element sequence — the audit oracle re-derives the
+// same state independently as the correctness check.
+
+#ifndef PSKY_STORE_RECOVERY_H_
+#define PSKY_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "store/wal.h"
+
+namespace psky {
+
+/// Everything needed to resume (or rebuild) a pipeline: a base snapshot
+/// plus the WAL records to replay on top of it, in stream order.
+struct RecoveredState {
+  /// Base snapshot. When has_checkpoint is false no valid checkpoint
+  /// existed and `checkpoint` is a default state (recovery starts from
+  /// an empty window at step 0; the caller supplies the configuration).
+  CheckpointState checkpoint;
+  bool has_checkpoint = false;
+
+  /// WAL records with step_after > checkpoint.elements_consumed,
+  /// contiguous and in stream order.
+  std::vector<WalRecord> tail;
+
+  /// Newest WAL file (the append target for the resumed run); empty when
+  /// none exists or the newest one is unreadable.
+  std::string active_wal;
+  uint64_t active_wal_start = 0;
+
+  /// True when any WAL file in the chain had a torn tail (the torn bytes
+  /// are ignored here; WalWriter::OpenForAppend repairs them on disk).
+  bool tail_truncated = false;
+
+  /// Human-readable notes: skipped corrupt files, truncation reasons,
+  /// coverage gaps. Never fatal by itself.
+  std::string notes;
+};
+
+/// Loads the newest valid checkpoint in `dir` and collects the WAL
+/// records that extend it. Returns false only when `dir` holds neither a
+/// valid checkpoint nor a readable WAL (nothing to recover from);
+/// `*error` then explains why. A missing checkpoint with usable WAL
+/// records (crash before the first checkpoint) succeeds with
+/// has_checkpoint = false.
+bool RecoverState(const std::string& dir, RecoveredState* out,
+                  std::string* error);
+
+/// A historical replay target: a stream position (elements consumed) or
+/// a stream timestamp.
+struct ReplayTarget {
+  enum class Kind { kStep, kTime };
+  Kind kind = Kind::kStep;
+  uint64_t step = 0;  ///< kStep: replay through this many elements
+  double time = 0.0;  ///< kTime: replay elements with time <= this
+};
+
+/// Parses a --replay-at spec: a bare integer is a position, "ts:<secs>"
+/// a timestamp. Returns false with a diagnostic on malformed input.
+bool ParseReplayTarget(const std::string& spec, ReplayTarget* out,
+                       std::string* error);
+
+/// Plans a historical replay: picks the newest retained checkpoint at or
+/// before `target` and the WAL records from there up to (and including)
+/// it. Fails when the target predates retained history (base coverage
+/// gap) or lies beyond the end of the log.
+bool PlanReplay(const std::string& dir, const ReplayTarget& target,
+                RecoveredState* out, std::string* error);
+
+/// Recovers the step count a CheckpointFileName-style path encodes.
+/// Returns false for unrelated names.
+bool ParseCheckpointStep(const std::string& path, uint64_t* step);
+
+}  // namespace psky
+
+#endif  // PSKY_STORE_RECOVERY_H_

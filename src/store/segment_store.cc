@@ -1,0 +1,265 @@
+#include "store/segment_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "base/check.h"
+#include "base/fault_injection.h"
+#include "geom/point.h"
+
+namespace psky {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+// See checkpoint.cc: strerror is fine on the single pipeline thread.
+std::string ErrnoString(int err) {
+  return std::strerror(err);  // NOLINT(concurrency-mt-unsafe)
+}
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "seg-%020llu.pskyseg",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool IsSegmentFileName(const std::string& name) {
+  if (name.size() != SegmentFileName(0).size() || name.rfind("seg-", 0) != 0 ||
+      name.compare(name.size() - 8, 8, ".pskyseg") != 0) {
+    return false;
+  }
+  for (size_t i = 4; i < 24; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(const Options& opts) : opts_(opts) {}
+
+SegmentStore::~SegmentStore() {
+  UnmapAll();
+  // Per-run scratch: leave nothing behind on clean destruction.
+  std::error_code ec;
+  for (const Segment& seg : segments_) std::filesystem::remove(seg.path, ec);
+  for (const std::string& path : free_files_) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+size_t SegmentStore::SlotBytes() const {
+  return 24 + 8 * static_cast<size_t>(opts_.dims);
+}
+
+size_t SegmentStore::SegmentBytes() const {
+  return SlotBytes() * opts_.elements_per_segment;
+}
+
+bool SegmentStore::Init(std::string* error) {
+  if (opts_.dims < 1 || opts_.dims > kMaxDims) {
+    return Fail(error, "segment store dims " + std::to_string(opts_.dims) +
+                           " outside [1, " + std::to_string(kMaxDims) + "]");
+  }
+  if (opts_.elements_per_segment == 0) {
+    return Fail(error, "segment store needs elements_per_segment >= 1");
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(opts_.dir, ec) &&
+      !std::filesystem::create_directories(opts_.dir, ec)) {
+    return Fail(error, "cannot create " + opts_.dir + ": " + ec.message());
+  }
+  return true;
+}
+
+bool SegmentStore::MapTailSegment(std::string* error) {
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kSegmentMap)) {
+      return Fail(error, "cannot map segment in " + opts_.dir + ": " +
+                             ErrnoString(inj) + " (injected)");
+    }
+  }
+  Segment seg;
+  seg.id = next_id_++;
+  seg.path =
+      (std::filesystem::path(opts_.dir) / SegmentFileName(seg.id)).string();
+  bool recycled = false;
+  if (!free_files_.empty()) {
+    const std::string from = free_files_.back();
+    if (std::rename(from.c_str(), seg.path.c_str()) != 0) {
+      return Fail(error, "cannot recycle " + from + " to " + seg.path + ": " +
+                             ErrnoString(errno));
+    }
+    free_files_.pop_back();
+    recycled = true;
+  }
+  const int fd = ::open(seg.path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Fail(error,
+                "cannot open " + seg.path + ": " + ErrnoString(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(SegmentBytes())) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Fail(error,
+                "cannot size " + seg.path + ": " + ErrnoString(err));
+  }
+  void* map = ::mmap(nullptr, SegmentBytes(), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return Fail(error, "cannot map " + seg.path + ": " + ErrnoString(errno));
+  }
+  seg.map = static_cast<char*>(map);
+  segments_.push_back(seg);
+  tail_count_ = 0;
+  if (recycled) {
+    ++stats_.segments_recycled;
+  } else {
+    ++stats_.segments_created;
+  }
+  stats_.segments_live = segments_.size();
+  return true;
+}
+
+bool SegmentStore::RecycleFrontSegment(std::string* error) {
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kSegmentRecycle)) {
+      return Fail(error, "cannot recycle segment in " + opts_.dir + ": " +
+                             ErrnoString(inj) + " (injected)");
+    }
+  }
+  Segment seg = segments_.front();
+  segments_.pop_front();
+  ::munmap(seg.map, SegmentBytes());
+  free_files_.push_back(seg.path);
+  head_offset_ = 0;
+  stats_.segments_live = segments_.size();
+  return true;
+}
+
+void SegmentStore::UnmapAll() {
+  for (Segment& seg : segments_) {
+    if (seg.map != nullptr) ::munmap(seg.map, SegmentBytes());
+    seg.map = nullptr;
+  }
+}
+
+bool SegmentStore::PushBack(const UncertainElement& e, std::string* error) {
+  PSKY_CHECK(e.pos.dims() == opts_.dims);
+  if (segments_.empty() || tail_count_ == opts_.elements_per_segment) {
+    if (!MapTailSegment(error)) return false;
+  }
+  char* slot = segments_.back().map + tail_count_ * SlotBytes();
+  std::memcpy(slot, &e.seq, 8);
+  std::memcpy(slot + 8, &e.prob, 8);
+  std::memcpy(slot + 16, &e.time, 8);
+  std::memcpy(slot + 24, e.pos.data(), 8 * static_cast<size_t>(opts_.dims));
+  ++tail_count_;
+  ++size_;
+  return true;
+}
+
+bool SegmentStore::PopFront(UncertainElement* out, std::string* error) {
+  PSKY_CHECK(size_ > 0);
+  *out = At(0);
+  ++head_offset_;
+  --size_;
+  const bool front_is_tail = segments_.size() == 1;
+  const size_t front_used = front_is_tail ? tail_count_
+                                          : opts_.elements_per_segment;
+  if (head_offset_ == front_used && !front_is_tail) {
+    if (!RecycleFrontSegment(error)) {
+      // The element is already out; undo nothing, but surface the I/O
+      // problem. The drained segment stays mapped and retries next pop.
+      ++size_;
+      --head_offset_;
+      *out = UncertainElement{};
+      return false;
+    }
+  } else if (head_offset_ == front_used && front_is_tail) {
+    // Fully drained store: rewind the single segment in place.
+    head_offset_ = 0;
+    tail_count_ = 0;
+  }
+  return true;
+}
+
+UncertainElement SegmentStore::At(size_t i) const {
+  PSKY_CHECK(i < size_);
+  const size_t flat = head_offset_ + i;
+  const size_t seg_index = flat / opts_.elements_per_segment;
+  const size_t slot_index = flat % opts_.elements_per_segment;
+  const char* slot = segments_[seg_index].map + slot_index * SlotBytes();
+  UncertainElement e;
+  e.pos = Point(opts_.dims);
+  std::memcpy(&e.seq, slot, 8);
+  std::memcpy(&e.prob, slot + 8, 8);
+  std::memcpy(&e.time, slot + 16, 8);
+  for (int d = 0; d < opts_.dims; ++d) {
+    std::memcpy(&e.pos[d], slot + 24 + 8 * static_cast<size_t>(d), 8);
+  }
+  return e;
+}
+
+std::vector<UncertainElement> SegmentStore::Snapshot() const {
+  std::vector<UncertainElement> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+  return out;
+}
+
+StoredCountWindow::StoredCountWindow(size_t capacity,
+                                     const SegmentStore::Options& opts)
+    : capacity_(capacity), store_(opts) {}
+
+bool StoredCountWindow::Init(std::string* error) {
+  return store_.Init(error);
+}
+
+std::optional<UncertainElement> StoredCountWindow::Push(
+    const UncertainElement& e) {
+  std::string error;
+  std::optional<UncertainElement> expired;
+  if (store_.size() == capacity_) {
+    UncertainElement oldest;
+    PSKY_CHECK_MSG(store_.PopFront(&oldest, &error), error.c_str());
+    expired = oldest;
+  }
+  PSKY_CHECK_MSG(store_.PushBack(e, &error), error.c_str());
+  return expired;
+}
+
+UncertainElement StoredCountWindow::PushRotate(const UncertainElement& e) {
+  PSKY_CHECK(full());
+  std::string error;
+  UncertainElement oldest;
+  PSKY_CHECK_MSG(store_.PopFront(&oldest, &error), error.c_str());
+  PSKY_CHECK_MSG(store_.PushBack(e, &error), error.c_str());
+  return oldest;
+}
+
+size_t SweepSegmentFiles(const std::string& dir) {
+  size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (IsSegmentFileName(entry.path().filename().string())) {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace psky

@@ -1,0 +1,148 @@
+// Out-of-core window buffer: a FIFO of stream elements held in
+// memory-mapped, fixed-size segment files.
+//
+// The paper's Theorem 8 bounds the live candidate set S_{N,q} at
+// O(polylog^d N), so for giant windows only the sky-tree needs RAM — the
+// raw window contents (needed solely to know *which* element expires
+// next) can live on disk. This store keeps them there: elements append
+// to the newest segment and pop from the oldest, and a fully drained
+// segment file is recycled as the next tail segment instead of being
+// deleted and recreated (the gtsat in_disk split: hot index in memory,
+// bulk data on disk).
+//
+// Segments are per-run scratch, not durable state: files are recreated
+// on startup (the startup sweep deletes leftovers) and carry no CRC —
+// durability comes from checkpoints plus the WAL (store/wal.h). Slot
+// layout is the checkpoint v2 element encoding (seq u64, prob f64,
+// time f64, pos[dims] f64), written via memcpy of host-endian bit
+// patterns so reads round-trip bit-exactly.
+//
+// I/O failures report through bool + *error (no exceptions, no output);
+// the segment-map and segment-recycle fault-injection sites cover the
+// two mutating I/O paths.
+
+#ifndef PSKY_STORE_SEGMENT_STORE_H_
+#define PSKY_STORE_SEGMENT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace psky {
+
+/// FIFO of UncertainElements over memory-mapped segment files.
+class SegmentStore {
+ public:
+  struct Options {
+    std::string dir;                     ///< segment file directory
+    int dims = 2;                        ///< element dimensionality
+    size_t elements_per_segment = 4096;  ///< slots per segment file
+  };
+
+  struct Stats {
+    uint64_t segments_created = 0;   ///< new segment files mapped
+    uint64_t segments_recycled = 0;  ///< drained files reused as tails
+    uint64_t segments_live = 0;      ///< currently mapped segments
+  };
+
+  explicit SegmentStore(const Options& opts);
+  ~SegmentStore();
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Creates the directory and validates options. Call once before use.
+  bool Init(std::string* error);
+
+  /// Appends `e` as the newest element, mapping a new tail segment when
+  /// the current one is full (fault site: segment-map).
+  bool PushBack(const UncertainElement& e, std::string* error);
+
+  /// Removes the oldest element into `*out`. A drained front segment is
+  /// unmapped and queued for reuse (fault site: segment-recycle).
+  /// Requires size() > 0.
+  bool PopFront(UncertainElement* out, std::string* error);
+
+  /// The i-th element from the oldest (0 = oldest). Requires i < size().
+  UncertainElement At(size_t i) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int dims() const { return opts_.dims; }
+
+  /// All elements, oldest first (for snapshots / oracles).
+  std::vector<UncertainElement> Snapshot() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Segment {
+    uint64_t id = 0;
+    std::string path;
+    char* map = nullptr;
+  };
+
+  size_t SlotBytes() const;
+  size_t SegmentBytes() const;
+  bool MapTailSegment(std::string* error);
+  bool RecycleFrontSegment(std::string* error);
+  void UnmapAll();
+
+  Options opts_;
+  std::deque<Segment> segments_;
+  std::vector<std::string> free_files_;  ///< drained files awaiting reuse
+  uint64_t next_id_ = 0;
+  size_t head_offset_ = 0;  ///< elements already popped from the front segment
+  size_t tail_count_ = 0;   ///< elements in the back segment
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+/// Count-based sliding window with the CountWindow interface but the
+/// buffer held in a SegmentStore. `--window-store=disk` swaps this in;
+/// its operator-visible behaviour is validated bit-equal to CountWindow.
+/// Store I/O failures are fatal (PSKY_CHECK): a window that lost its
+/// buffer cannot continue correctly, and the crash-quarantine handler
+/// turns the check failure into a post-mortem dump.
+class StoredCountWindow {
+ public:
+  StoredCountWindow(size_t capacity, const SegmentStore::Options& opts);
+
+  /// Creates the backing store. Call once before use; returns false with
+  /// a diagnostic when the directory cannot be set up.
+  bool Init(std::string* error);
+
+  /// Appends `e`; returns the evicted oldest element when the window
+  /// overflows (see CountWindow::Push).
+  std::optional<UncertainElement> Push(const UncertainElement& e);
+
+  /// Steady-state rotation; requires full() (see CountWindow::PushRotate).
+  UncertainElement PushRotate(const UncertainElement& e);
+
+  size_t size() const { return store_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return store_.size() == capacity_; }
+
+  /// Window contents, oldest first.
+  std::vector<UncertainElement> Snapshot() const { return store_.Snapshot(); }
+
+  const SegmentStore::Stats& store_stats() const { return store_.stats(); }
+
+ private:
+  size_t capacity_;
+  SegmentStore store_;
+};
+
+/// Deletes segment files ("seg-*.pskyseg") left in `dir` by earlier
+/// runs. Segments are per-run scratch, so at startup every one of them
+/// is garbage. Returns the number removed; missing directories are a
+/// no-op.
+size_t SweepSegmentFiles(const std::string& dir);
+
+}  // namespace psky
+
+#endif  // PSKY_STORE_SEGMENT_STORE_H_

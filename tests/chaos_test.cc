@@ -6,6 +6,9 @@
 
 #include <cerrno>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,8 @@
 #include "core/checkpoint.h"
 #include "core/overload.h"
 #include "core/ssky_operator.h"
+#include "store/segment_store.h"
+#include "store/wal.h"
 #include "stream/generator.h"
 #include "stream/window.h"
 #include "test_util.h"
@@ -25,6 +30,16 @@ namespace psky {
 namespace {
 
 namespace fs = std::filesystem;
+
+std::string TempTestDir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string(tag) + "_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
 
 // Every test arms its own schedule; always disarm afterwards so fault
 // state never leaks across tests (or into other suites via sharding).
@@ -228,7 +243,8 @@ CheckpointState SmallState() {
   state.elements_consumed = 42;
   state.next_seq = 42;
   for (uint64_t i = 0; i < 4; ++i) {
-    state.window.push_back(MakeElement({1.0 + i, 2.0 - i * 0.1}, 0.8, i));
+    const double v = static_cast<double>(i);
+    state.window.push_back(MakeElement({1.0 + v, 2.0 - v * 0.1}, 0.8, i));
   }
   return state;
 }
@@ -429,6 +445,156 @@ TEST_F(ChaosIoTest, PipelineUnderChaosMatchesCleanRunExactly) {
   const fault::Stats fs_after = fault::StatsSnapshot();
   EXPECT_EQ(fs_after.failures_injected, 2u);  // both recovered by retry
   EXPECT_GE(fs_after.delays_injected, 21u);
+}
+
+// --- durability fault sites ----------------------------------------------
+
+TEST_F(ChaosTest, WalAppendSiteInjectsScheduledFailures) {
+  const std::string dir = TempTestDir("chaos_wal_append");
+  WalWriter wal;
+  std::string error;
+  int err = 0;
+  ASSERT_TRUE(
+      wal.Create(dir + "/" + WalFileName(0), 2, 0, &error, &err))
+      << error;
+  Arm("fail=wal-append@2:enospc");
+  WalRecord r;
+  r.element.pos = Point(2);
+  r.element.prob = 0.5;
+  r.step_after = 1;
+  EXPECT_TRUE(wal.Append(r, &error, &err)) << error;
+  r.step_after = 2;
+  err = 0;
+  EXPECT_FALSE(wal.Append(r, &error, &err));
+  EXPECT_EQ(err, ENOSPC);
+  EXPECT_TRUE(wal.Append(r, &error, &err)) << error;  // 3rd occurrence clean
+  wal.Close();
+}
+
+// The production response to a transiently failing group-commit fsync is
+// retry-with-backoff — the WAL is never dropped. An injected EIO on the
+// first attempt must be absorbed by the retry budget.
+TEST_F(ChaosTest, WalFsyncSiteRecoversUnderRetry) {
+  const std::string dir = TempTestDir("chaos_wal_fsync");
+  WalWriter wal;
+  std::string error;
+  int err = 0;
+  ASSERT_TRUE(
+      wal.Create(dir + "/" + WalFileName(0), 2, 0, &error, &err))
+      << error;
+  WalRecord r;
+  r.element.pos = Point(2);
+  r.element.prob = 0.5;
+  r.step_after = 1;
+  ASSERT_TRUE(wal.Append(r, &error, &err)) << error;
+
+  Arm("fail=wal-fsync@1");
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1;
+  RetryStats stats;
+  std::vector<uint64_t> sleeps;
+  EXPECT_TRUE(RetryWithBackoff(
+      policy, [&](int* e) { return wal.Sync(&error, e); }, &stats,
+      [&](uint64_t ms) { sleeps.push_back(ms); }));
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(wal.pending(), 0u);
+  wal.Close();
+
+  WalContents contents;
+  ASSERT_TRUE(ReadWalFile(dir + "/" + WalFileName(0), &contents, &error))
+      << error;
+  EXPECT_EQ(contents.records.size(), 1u);
+}
+
+TEST_F(ChaosTest, SegmentMapSiteInjectsScheduledFailures) {
+  SegmentStore::Options opts;
+  opts.dir = TempTestDir("chaos_seg_map");
+  opts.dims = 2;
+  opts.elements_per_segment = 2;
+  SegmentStore store(opts);
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  Arm("fail=segment-map@2:enospc");
+  UncertainElement e;
+  e.pos = Point(2);
+  e.prob = 0.5;
+  for (int i = 0; i < 2; ++i) {
+    e.seq = static_cast<uint64_t>(i);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;  // first map is clean
+  }
+  e.seq = 2;  // needs a second segment: the injected map failure fires
+  EXPECT_FALSE(store.PushBack(e, &error));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.PushBack(e, &error)) << error;
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST_F(ChaosTest, SegmentRecycleSiteInjectsScheduledFailures) {
+  SegmentStore::Options opts;
+  opts.dir = TempTestDir("chaos_seg_recycle");
+  opts.dims = 2;
+  opts.elements_per_segment = 2;
+  SegmentStore store(opts);
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  UncertainElement e;
+  e.pos = Point(2);
+  e.prob = 0.5;
+  for (int i = 0; i < 4; ++i) {
+    e.seq = static_cast<uint64_t>(i);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  Arm("fail=segment-recycle@1");
+  UncertainElement out;
+  ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+  EXPECT_FALSE(store.PopFront(&out, &error));  // drain hits the injection
+  EXPECT_EQ(store.size(), 3u);
+  ASSERT_TRUE(store.PopFront(&out, &error)) << error;  // retry succeeds
+  EXPECT_EQ(out.seq, 1u);
+}
+
+// --- documentation lockstep ----------------------------------------------
+
+// docs/operations.md documents the chaos-schedule site grammar; this
+// lint-style test fails whenever a site is added to fault_injection.cc
+// without updating the runbook (or vice versa).
+TEST(ChaosDocsTest, OperationsRunbookListsExactlyTheImplementedSites) {
+  std::ifstream in(PSKY_DOCS_OPERATIONS_PATH);
+  ASSERT_TRUE(in.is_open()) << "cannot open " << PSKY_DOCS_OPERATIONS_PATH;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  // Collect the "<site> := a | b | ..." block: the marker line plus the
+  // continuation lines, which all end with '|'.
+  std::string block;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t at = lines[i].find("<site> :=");
+    if (at == std::string::npos) continue;
+    block = lines[i].substr(at + std::string("<site> :=").size());
+    while (!block.empty() &&
+           block.find_last_not_of(" \t") != std::string::npos &&
+           block[block.find_last_not_of(" \t")] == '|' &&
+           i + 1 < lines.size()) {
+      block += " " + lines[++i];
+    }
+    break;
+  }
+  ASSERT_FALSE(block.empty()) << "no '<site> :=' grammar block in the docs";
+
+  std::set<std::string> documented;
+  std::string token;
+  std::istringstream tokens(block);
+  while (tokens >> token) {
+    if (token != "|") documented.insert(token);
+  }
+  std::set<std::string> implemented;
+  for (int i = 0; i < fault::kSiteCount; ++i) {
+    implemented.insert(fault::SiteName(static_cast<fault::Site>(i)));
+  }
+  EXPECT_EQ(documented, implemented)
+      << "docs/operations.md chaos site list and fault_injection.cc "
+         "disagree - update both together";
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Segment store: FIFO equivalence against an in-memory deque across
+// segment boundaries, file recycling, fault-injection sites, the startup
+// sweep, and bit-equality of a StoredCountWindow-backed operator against
+// the in-memory CountWindow pipeline.
+
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fault_injection.h"
+#include "base/random.h"
+#include "core/ssky_operator.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+#include "store/segment_store.h"
+
+namespace psky {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* tag) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      (std::string("psky_seg_") + tag + "_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+SegmentStore::Options MakeOptions(const std::string& dir, int dims,
+                                  size_t per_segment) {
+  SegmentStore::Options opts;
+  opts.dir = dir;
+  opts.dims = dims;
+  opts.elements_per_segment = per_segment;
+  return opts;
+}
+
+void ExpectElementsEqual(const UncertainElement& a,
+                         const UncertainElement& b) {
+  EXPECT_EQ(a.seq, b.seq);
+  // Bitwise double equality: slots hold raw IEEE-754 bit patterns.
+  EXPECT_EQ(a.prob, b.prob);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.pos, b.pos);
+}
+
+TEST(SegmentStoreTest, InitValidatesOptions) {
+  std::string error;
+  SegmentStore bad_dims(MakeOptions(TempDir("dims"), 0, 4));
+  EXPECT_FALSE(bad_dims.Init(&error));
+  SegmentStore bad_slots(MakeOptions(TempDir("slots"), 2, 0));
+  EXPECT_FALSE(bad_slots.Init(&error));
+  SegmentStore ok(MakeOptions(TempDir("ok"), 2, 4));
+  EXPECT_TRUE(ok.Init(&error)) << error;
+}
+
+// Mixed pushes and pops against a reference deque, with a segment size
+// small enough that every operation class crosses file boundaries.
+TEST(SegmentStoreTest, MatchesDequeAcrossSegmentBoundaries) {
+  const std::string dir = TempDir("fifo");
+  SegmentStore store(MakeOptions(dir, 3, 5));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 77;
+  StreamGenerator gen(cfg);
+  Rng rng(123);
+  std::deque<UncertainElement> reference;
+
+  for (int op = 0; op < 5000; ++op) {
+    const bool push = reference.empty() || rng.NextDouble() < 0.55;
+    if (push) {
+      const UncertainElement e = gen.Take(1).front();
+      reference.push_back(e);
+      ASSERT_TRUE(store.PushBack(e, &error)) << error;
+    } else {
+      UncertainElement out;
+      ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+      ExpectElementsEqual(reference.front(), out);
+      reference.pop_front();
+    }
+    ASSERT_EQ(store.size(), reference.size());
+    if (op % 97 == 0 && !reference.empty()) {
+      ExpectElementsEqual(reference.front(), store.At(0));
+      ExpectElementsEqual(reference.back(), store.At(store.size() - 1));
+      const size_t mid = reference.size() / 2;
+      ExpectElementsEqual(reference[mid], store.At(mid));
+    }
+  }
+  const std::vector<UncertainElement> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), reference.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    ExpectElementsEqual(reference[i], snap[i]);
+  }
+}
+
+// Steady-state rotation drains front segments while filling tails: the
+// store must reuse drained files instead of growing the directory.
+TEST(SegmentStoreTest, RecyclesDrainedSegments) {
+  const std::string dir = TempDir("recycle");
+  SegmentStore store(MakeOptions(dir, 2, 8));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 5;
+  StreamGenerator gen(cfg);
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(store.PushBack(gen.Take(1).front(), &error)) << error;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    UncertainElement out;
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ASSERT_TRUE(store.PushBack(gen.Take(1).front(), &error)) << error;
+  }
+  const SegmentStore::Stats stats = store.stats();
+  EXPECT_GT(stats.segments_recycled, 0u);
+  // Live mappings stay bounded by the FIFO's footprint, not its history.
+  EXPECT_LE(stats.segments_live, 5u);
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_LE(files, 6u);  // live segments plus the free list
+}
+
+TEST(SegmentStoreTest, DestructorRemovesScratchFiles) {
+  const std::string dir = TempDir("cleanup");
+  {
+    SegmentStore store(MakeOptions(dir, 2, 4));
+    std::string error;
+    ASSERT_TRUE(store.Init(&error)) << error;
+    StreamConfig cfg;
+    cfg.dims = 2;
+    StreamGenerator gen(cfg);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.PushBack(gen.Take(1).front(), &error)) << error;
+    }
+    UncertainElement out;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    }
+  }
+  EXPECT_TRUE(fs::is_empty(dir));
+}
+
+TEST(SegmentStoreTest, SweepReapsLeftoverSegmentFiles) {
+  const std::string dir = TempDir("sweep");
+  // Orphans a crashed run could leave behind, plus files the sweep must
+  // not touch.
+  std::ofstream(dir + "/seg-00000000000000000003.pskyseg") << "junk";
+  std::ofstream(dir + "/seg-00000000000000000009.pskyseg") << "junk";
+  std::ofstream(dir + "/seg-123.pskyseg") << "not ours";
+  std::ofstream(dir + "/ckpt-00000000000000000001.psky") << "not ours";
+  EXPECT_EQ(SweepSegmentFiles(dir), 2u);
+  EXPECT_TRUE(fs::exists(dir + "/seg-123.pskyseg"));
+  EXPECT_TRUE(fs::exists(dir + "/ckpt-00000000000000000001.psky"));
+  EXPECT_EQ(SweepSegmentFiles(dir), 0u);
+  EXPECT_EQ(SweepSegmentFiles(dir + "/missing"), 0u);
+}
+
+TEST(SegmentStoreTest, MapFaultSiteFailsPushBack) {
+  const std::string dir = TempDir("mapfault");
+  SegmentStore store(MakeOptions(dir, 2, 4));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  ASSERT_TRUE(fault::LoadSchedule("fail=segment-map@1:enospc", &error))
+      << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  StreamGenerator gen(cfg);
+  const UncertainElement e = gen.Take(1).front();
+  EXPECT_FALSE(store.PushBack(e, &error));
+  EXPECT_EQ(store.size(), 0u);
+  // The next occurrence is clean: the push succeeds and the store works.
+  EXPECT_TRUE(store.PushBack(e, &error)) << error;
+  EXPECT_EQ(store.size(), 1u);
+  fault::Clear();
+}
+
+TEST(SegmentStoreTest, RecycleFaultSiteFailsPopAndRetries) {
+  const std::string dir = TempDir("recfault");
+  SegmentStore store(MakeOptions(dir, 2, 2));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  StreamGenerator gen(cfg);
+  std::vector<UncertainElement> pushed = gen.Take(4);
+  for (const auto& e : pushed) {
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  ASSERT_TRUE(fault::LoadSchedule("fail=segment-recycle@1", &error))
+      << error;
+  UncertainElement out;
+  ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+  ExpectElementsEqual(pushed[0], out);
+  // Draining the front segment hits the injected recycle failure; the
+  // element stays queued and the next attempt succeeds.
+  EXPECT_FALSE(store.PopFront(&out, &error));
+  EXPECT_EQ(store.size(), 3u);
+  ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+  ExpectElementsEqual(pushed[1], out);
+  fault::Clear();
+}
+
+// The operator-visible contract: a stream driven through StoredCountWindow
+// produces bit-identical skyline state to the same stream through
+// CountWindow (the --window-store=disk acceptance check, in-process).
+TEST(StoredCountWindowTest, OperatorStateMatchesInMemoryWindow) {
+  const std::string dir = TempDir("bitequal");
+  const int dims = 3;
+  const size_t capacity = 64;
+  StoredCountWindow stored(capacity, MakeOptions(dir, dims, 16));
+  std::string error;
+  ASSERT_TRUE(stored.Init(&error)) << error;
+  CountWindow window(capacity);
+
+  SskyOperator disk_op(dims, 0.3);
+  SskyOperator mem_op(dims, 0.3);
+  StreamConfig cfg;
+  cfg.dims = dims;
+  cfg.spatial = SpatialDistribution::kAntiCorrelated;
+  cfg.seed = 31;
+  StreamGenerator gen(cfg);
+
+  for (int i = 0; i < 1500; ++i) {
+    const UncertainElement e = gen.Take(1).front();
+    if (stored.full()) {
+      const UncertainElement disk_old = stored.PushRotate(e);
+      const UncertainElement mem_old = window.PushRotate(e);
+      ExpectElementsEqual(mem_old, disk_old);
+      disk_op.Expire(disk_old);
+      mem_op.Expire(mem_old);
+    } else {
+      stored.Push(e);
+      window.Push(e);
+    }
+    disk_op.Insert(e);
+    mem_op.Insert(e);
+    ASSERT_EQ(disk_op.candidate_count(), mem_op.candidate_count())
+        << "step " << i;
+    ASSERT_EQ(disk_op.skyline_count(), mem_op.skyline_count())
+        << "step " << i;
+  }
+  const auto disk_sky = disk_op.Skyline();
+  const auto mem_sky = mem_op.Skyline();
+  ASSERT_EQ(disk_sky.size(), mem_sky.size());
+  for (size_t i = 0; i < disk_sky.size(); ++i) {
+    EXPECT_EQ(disk_sky[i].element.seq, mem_sky[i].element.seq);
+    EXPECT_EQ(disk_sky[i].psky, mem_sky[i].psky);  // bitwise
+  }
+  EXPECT_GT(stored.store_stats().segments_recycled, 0u);
+}
+
+}  // namespace
+}  // namespace psky

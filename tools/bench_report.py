@@ -7,9 +7,15 @@ Usage:
         Exit 0 when the file is a well-formed hot-path bench result.
 
     bench_report.py compare BASELINE CURRENT [--max-regression 0.20]
+                                             [--max-wal-overhead 0.10]
         Prints a per-workload throughput/latency diff and exits 1 when any
         workload's elements/second regressed by more than the threshold
         (fraction of the baseline). Improvements never fail the gate.
+        Additionally fails when the current run's recorded wal_overhead
+        (inde vs inde_wal throughput gap) exceeds the WAL budget — but
+        only at full scale, where the fsync cost is amortized over a
+        realistic stream; at tiny/quick scale the gap is noise-dominated
+        and only reported.
 
 Only the Python standard library is used.
 """
@@ -60,6 +66,15 @@ def validate(doc, path):
         errors.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
     if not doc["workloads"]:
         errors.append("workloads is empty")
+    # wal_overhead is optional (pre-WAL result files lack it) but must be
+    # a plausible fraction when present; negative means WAL-on measured
+    # faster, which is jitter, not an error.
+    if "wal_overhead" in doc:
+        v = doc["wal_overhead"]
+        if not isinstance(v, (int, float)):
+            errors.append("wal_overhead is not a number")
+        elif not -1.0 < v < 1.0:
+            errors.append(f"wal_overhead {v} is not a plausible fraction")
     for name, w in doc["workloads"].items():
         for key, typ in WORKLOAD_KEYS.items():
             if key not in w:
@@ -128,12 +143,25 @@ def cmd_compare(args):
             f"{name:<10} {b_eps:>12.0f} {c_eps:>12.0f} {delta:>+7.1%}  "
             f"{b['p99_step_us']:>10.2f} {c['p99_step_us']:>10.2f}{mark}"
         )
+    wal_failed = False
+    if "wal_overhead" in cur:
+        overhead = cur["wal_overhead"]
+        print(f"wal overhead (inde vs inde_wal): {overhead:+.1%}")
+        if cur["scale"] == "full" and overhead > args.max_wal_overhead:
+            wal_failed = True
+            print(
+                f"FAIL: WAL overhead {overhead:.1%} exceeds the "
+                f"{args.max_wal_overhead:.0%} durability budget",
+                file=sys.stderr,
+            )
     if failed:
         print(
             f"FAIL: throughput regressed more than "
             f"{args.max_regression:.0%} on: {', '.join(failed)}",
             file=sys.stderr,
         )
+        return 1
+    if wal_failed:
         return 1
     print(f"PASS: no workload regressed more than {args.max_regression:.0%}")
     return 0
@@ -149,6 +177,7 @@ def main():
     p_cmp.add_argument("baseline")
     p_cmp.add_argument("current")
     p_cmp.add_argument("--max-regression", type=float, default=0.20)
+    p_cmp.add_argument("--max-wal-overhead", type=float, default=0.10)
     p_cmp.set_defaults(func=cmd_compare)
     args = parser.parse_args()
     sys.exit(args.func(args))

@@ -18,6 +18,29 @@
 //                            failures up to N times with jittered backoff
 //   --on-bad-input fail|skip|clamp   malformed-line policy (default fail)
 //   --ooo-policy reject|clamp        late-timestamp policy (default reject)
+//
+// Durability & replay (see docs/operations.md "Durability & replay"):
+//   --wal                    write-ahead log of every admitted element in
+//                            the checkpoint dir; --resume then replays the
+//                            WAL tail past the newest checkpoint, making
+//                            recovery from SIGKILL bit-identical to an
+//                            uninterrupted run (for replayable sources)
+//   --wal-sync-every K       group-commit fsync cadence (default 4096);
+//                            widened automatically under disk pressure.
+//                            For replayable sources the cadence does not
+//                            bound data loss (recovery re-reads the
+//                            source tail); it only matters for inputs
+//                            that cannot be re-read, e.g. piped CSV
+//   --keep-checkpoints N     checkpoint retention (default 2); WAL files
+//                            are pruned against the oldest kept checkpoint
+//   --window-store mem|disk  where the window buffer lives; disk keeps it
+//                            in memory-mapped segment files so only the
+//                            candidate set S_{N,q} stays in RAM
+//   --store-dir DIR          segment directory (default <ckpt-dir>/segments)
+//   --segment-elems K        elements per segment file (default 4096)
+//   --replay-at P|ts:T       historical query: rebuild the window state at
+//                            stream position P (or time T) from checkpoint
+//                            + WAL, print the skyline, and exit
 // SIGINT/SIGTERM drain gracefully: queued elements are processed, a final
 // checkpoint is flushed (when a checkpoint dir is configured) and counters
 // are reported before exit.
@@ -51,13 +74,16 @@
 // configuration, 2 malformed input, 3 checkpoint I/O failure, 4 unrepaired
 // integrity violation under --strict.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <climits>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -75,8 +101,12 @@
 #include "core/audit.h"
 #include "core/checkpoint.h"
 #include "core/overload.h"
+#include "core/naive_operator.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
+#include "store/recovery.h"
+#include "store/segment_store.h"
+#include "store/wal.h"
 #include "stream/csv.h"
 #include "stream/generator.h"
 #include "stream/stock.h"
@@ -112,6 +142,21 @@ struct Args {
   std::string checkpoint_dir;       // empty: checkpointing disabled
   uint64_t checkpoint_every = 0;    // 0: only final/signal checkpoints
   bool resume = false;
+  // --- durability & replay ---------------------------------------------
+  /// Write-ahead log of every admitted element (requires checkpoint dir).
+  bool wal = false;
+  /// Group-commit cadence: fsync after this many appended records.
+  uint64_t wal_sync_every = 4096;
+  /// Checkpoint files kept by pruning (WAL retention follows).
+  uint64_t keep_checkpoints = 2;
+  /// Window buffer placement: "mem" (deque) or "disk" (segment store).
+  std::string window_store = "mem";
+  /// Segment directory; empty derives <checkpoint-dir>/segments.
+  std::string store_dir;
+  /// Elements per memory-mapped segment file.
+  uint64_t segment_elems = 4096;
+  /// Historical replay target ("<pos>" or "ts:<seconds>"); empty: off.
+  std::string replay_at;
   psky::BadInputPolicy on_bad_input = psky::BadInputPolicy::kFail;
   psky::TimestampPolicy ooo_policy = psky::TimestampPolicy::kReject;
   psky::AuditMode audit_mode = psky::AuditMode::kOff;
@@ -151,6 +196,11 @@ struct Args {
                "                   [--batch-size B] [--threads T]\n"
                "                   [--checkpoint-dir DIR [--checkpoint-every "
                "K] [--resume]]\n"
+               "                   [--wal] [--wal-sync-every K] "
+               "[--keep-checkpoints N]\n"
+               "                   [--window-store mem|disk] [--store-dir "
+               "DIR] [--segment-elems K]\n"
+               "                   [--replay-at POS|ts:SECS]\n"
                "                   [--io-retries N] [--io-backoff-ms MS]\n"
                "                   [--max-queue N] [--overload-policy "
                "block|shed-oldest|shed-low-prob]\n"
@@ -240,6 +290,20 @@ Args Parse(int argc, char** argv) {
       args.checkpoint_every = ParseUint64Value(flag, need(i++));
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--wal") {
+      args.wal = true;
+    } else if (flag == "--wal-sync-every") {
+      args.wal_sync_every = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--keep-checkpoints") {
+      args.keep_checkpoints = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--window-store") {
+      args.window_store = need(i++);
+    } else if (flag == "--store-dir") {
+      args.store_dir = need(i++);
+    } else if (flag == "--segment-elems") {
+      args.segment_elems = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--replay-at") {
+      args.replay_at = need(i++);
     } else if (flag == "--max-queue") {
       args.max_queue = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--overload-policy") {
@@ -321,6 +385,23 @@ Args Parse(int argc, char** argv) {
       args.checkpoint_dir.empty()) {
     Usage("--resume / --checkpoint-every require --checkpoint-dir");
   }
+  if ((args.wal || !args.replay_at.empty()) && args.checkpoint_dir.empty()) {
+    Usage("--wal / --replay-at require --checkpoint-dir");
+  }
+  if (!args.replay_at.empty() && args.resume) {
+    Usage("--replay-at is a read-only historical query; drop --resume");
+  }
+  if (args.wal_sync_every == 0) Usage("--wal-sync-every must be positive");
+  if (args.keep_checkpoints == 0) {
+    Usage("--keep-checkpoints must be positive");
+  }
+  if (args.window_store != "mem" && args.window_store != "disk") {
+    Usage("--window-store must be mem or disk");
+  }
+  if (args.window_store == "disk" && args.time_span > 0.0) {
+    Usage("--window-store disk supports count windows only (no --time-span)");
+  }
+  if (args.segment_elems == 0) Usage("--segment-elems must be positive");
   if (args.strict && args.audit_mode == psky::AuditMode::kOff) {
     Usage("--strict requires --audit-mode check or repair");
   }
@@ -516,6 +597,152 @@ void InstallQuarantineHandlers() {
   }
 }
 
+// Prints skyline members in the canonical "seq= psky= pos= prob=" format
+// shared by --emit final and --replay-at (so outputs diff cleanly).
+void PrintSkylineMembers(const std::vector<psky::SkylineMember>& members,
+                         int dims) {
+  for (const auto& m : members) {
+    std::printf("seq=%llu psky=%.6f pos=",
+                static_cast<unsigned long long>(m.element.seq), m.psky);
+    for (int i = 0; i < dims; ++i) {
+      std::printf(i == 0 ? "%g" : ",%g", m.element.pos[i]);
+    }
+    std::printf(" prob=%g\n", m.element.prob);
+  }
+}
+
+// --- historical replay (--replay-at) -------------------------------------
+// Rebuilds the exact window state at a past stream position (or time)
+// from the newest covering checkpoint plus WAL records, prints the
+// skyline at that point, and exits. Deterministic: the reconstructed
+// state is a pure function of the admitted element sequence. With
+// --audit-mode on, the naive oracle re-derives the skyline from the
+// reconstructed window as an independent correctness check (exit 4 on
+// disagreement).
+int RunReplayAt(const Args& args) {
+  psky::ReplayTarget target;
+  std::string error;
+  if (!psky::ParseReplayTarget(args.replay_at, &target, &error)) {
+    Usage(error.c_str());
+  }
+  psky::RecoveredState plan;
+  if (!psky::PlanReplay(args.checkpoint_dir, target, &plan, &error)) {
+    std::fprintf(stderr, "error: --replay-at: %s\n", error.c_str());
+    return 3;
+  }
+  if (!plan.notes.empty()) {
+    std::fprintf(stderr, "warning: replay: %s\n", plan.notes.c_str());
+  }
+
+  const psky::WindowKind want_kind = args.time_span > 0.0
+                                         ? psky::WindowKind::kTime
+                                         : psky::WindowKind::kCount;
+  if (plan.has_checkpoint) {
+    const psky::CheckpointState& c = plan.checkpoint;
+    if (c.dims != args.dims || c.q != args.q ||
+        c.window_kind != want_kind ||
+        (want_kind == psky::WindowKind::kCount &&
+         c.window_capacity != args.window) ||
+        (want_kind == psky::WindowKind::kTime &&
+         c.time_span != args.time_span)) {
+      std::fprintf(stderr,
+                   "error: checkpoint was taken with a different "
+                   "dims/q/window configuration\n");
+      return 1;
+    }
+  } else if (!plan.tail.empty() &&
+             plan.tail.front().element.pos.dims() != args.dims) {
+    std::fprintf(stderr, "error: WAL records carry %d dims, --dims is %d\n",
+                 plan.tail.front().element.pos.dims(), args.dims);
+    return 1;
+  }
+
+  psky::SskyOperator op(args.dims, args.q, psky::SkyTree::Options());
+  std::unique_ptr<psky::CountWindow> count_window;
+  std::unique_ptr<psky::TimeWindow> time_window;
+  if (args.time_span > 0.0) {
+    time_window =
+        std::make_unique<psky::TimeWindow>(args.time_span, args.ooo_policy);
+  } else {
+    count_window = std::make_unique<psky::CountWindow>(args.window);
+  }
+
+  uint64_t step = 0;
+  if (plan.has_checkpoint) {
+    psky::ReplayWindow(plan.checkpoint, &op);
+    for (const auto& e : plan.checkpoint.window) {
+      if (time_window != nullptr) {
+        time_window->Push(e, nullptr);
+      } else {
+        count_window->Push(e);
+      }
+    }
+    step = plan.checkpoint.elements_consumed;
+  }
+  std::vector<psky::UncertainElement> expired;
+  for (const psky::WalRecord& r : plan.tail) {
+    if (time_window != nullptr) {
+      expired.clear();
+      psky::UncertainElement incoming = r.element;
+      // Logged elements were admitted once, so they re-admit here (the
+      // WAL holds post-clamp timestamps); the guard is pure paranoia.
+      if (!time_window->TryPush(&incoming, &expired)) continue;
+      for (const auto& old : expired) op.Expire(old);
+      op.Insert(incoming);
+    } else {
+      if (count_window->full()) {
+        op.Expire(count_window->PushRotate(r.element));
+      } else {
+        count_window->Push(r.element);
+      }
+      op.Insert(r.element);
+    }
+    step = r.step_after;
+  }
+
+  const auto window_now = time_window != nullptr ? time_window->Snapshot()
+                                                 : count_window->Snapshot();
+  if (args.audit_mode != psky::AuditMode::kOff) {
+    // Independent re-derivation: the naive oracle computes the exact
+    // q-skyline of the reconstructed window from scratch.
+    psky::NaiveSkylineOperator oracle(args.dims, args.q);
+    for (const auto& e : window_now) oracle.Insert(e);
+    auto by_seq = [](const psky::SkylineMember& a,
+                     const psky::SkylineMember& b) {
+      return a.element.seq < b.element.seq;
+    };
+    std::vector<psky::SkylineMember> want = oracle.Skyline();
+    std::vector<psky::SkylineMember> got = op.Skyline();
+    std::sort(want.begin(), want.end(), by_seq);
+    std::sort(got.begin(), got.end(), by_seq);
+    bool agree = want.size() == got.size();
+    for (size_t i = 0; agree && i < want.size(); ++i) {
+      agree = want[i].element.seq == got[i].element.seq &&
+              std::fabs(want[i].psky - got[i].psky) <= 1e-6;
+    }
+    if (!agree) {
+      std::fprintf(stderr,
+                   "error: replay audit: oracle disagrees (oracle %zu vs "
+                   "replay %zu skyline members)\n",
+                   want.size(), got.size());
+      return 4;
+    }
+    std::fprintf(stderr, "replay audit: oracle agrees (%zu skyline members)\n",
+                 got.size());
+  }
+
+  PrintSkylineMembers(op.Skyline(), args.dims);
+  std::fprintf(
+      stderr,
+      "replayed to step %llu (checkpoint base %llu + %zu WAL records; "
+      "window holds %zu elements)\n",
+      static_cast<unsigned long long>(step),
+      static_cast<unsigned long long>(
+          plan.has_checkpoint ? plan.checkpoint.elements_consumed : 0),
+      plan.tail.size(), window_now.size());
+  return 0;
+}
+
 // Joins the ingest producer thread on every exit path; leaving a joinable
 // std::thread behind is std::terminate.
 struct ProducerJoiner {
@@ -553,6 +780,7 @@ int main(int argc, char** argv) {
     }
     // A crash mid-write leaves "*.tmp" wreckage behind; sweep it before
     // this run starts producing its own files.
+    // ".tmp" also covers interrupted WAL rotations (wal-*.pskywal.tmp).
     const size_t removed =
         psky::RemoveStaleCheckpointTemps(args.checkpoint_dir);
     if (removed > 0) {
@@ -561,36 +789,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!args.replay_at.empty()) return RunReplayAt(args);
+
   // --- resume: load the newest valid checkpoint -------------------------
+  // With --wal, recovery is checkpoint + WAL tail: the records past the
+  // snapshot are replayed below, and a crash before the first checkpoint
+  // still recovers (empty base + WAL from step 1).
   psky::CheckpointState resume_state;
+  psky::RecoveredState recovered;  // WAL tail, under --wal --resume
   bool resumed = false;
+  bool resumed_with_checkpoint = false;
   if (args.resume) {
     std::string error;
-    if (!psky::LoadLatestCheckpoint(args.checkpoint_dir, &resume_state,
-                                    &error)) {
-      std::fprintf(stderr, "error: cannot resume from %s: %s\n",
-                   args.checkpoint_dir.c_str(), error.c_str());
-      return 3;
-    }
-    if (!error.empty()) {
-      std::fprintf(stderr, "warning: skipped corrupt checkpoint(s): %s\n",
-                   error.c_str());
+    if (args.wal) {
+      if (!psky::RecoverState(args.checkpoint_dir, &recovered, &error)) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     args.checkpoint_dir.c_str(), error.c_str());
+        return 3;
+      }
+      if (!recovered.notes.empty()) {
+        std::fprintf(stderr, "warning: recovery: %s\n",
+                     recovered.notes.c_str());
+      }
+      resume_state = recovered.checkpoint;
+      resumed_with_checkpoint = recovered.has_checkpoint;
+      resumed = recovered.has_checkpoint || !recovered.tail.empty();
+    } else {
+      if (!psky::LoadLatestCheckpoint(args.checkpoint_dir, &resume_state,
+                                      &error)) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     args.checkpoint_dir.c_str(), error.c_str());
+        return 3;
+      }
+      if (!error.empty()) {
+        std::fprintf(stderr, "warning: skipped corrupt checkpoint(s): %s\n",
+                     error.c_str());
+      }
+      resumed = resumed_with_checkpoint = true;
     }
     const psky::WindowKind want_kind = args.time_span > 0.0
                                            ? psky::WindowKind::kTime
                                            : psky::WindowKind::kCount;
-    if (resume_state.dims != args.dims || resume_state.q != args.q ||
-        resume_state.window_kind != want_kind ||
-        (want_kind == psky::WindowKind::kCount &&
-         resume_state.window_capacity != args.window) ||
-        (want_kind == psky::WindowKind::kTime &&
-         resume_state.time_span != args.time_span)) {
+    if (resumed_with_checkpoint &&
+        (resume_state.dims != args.dims || resume_state.q != args.q ||
+         resume_state.window_kind != want_kind ||
+         (want_kind == psky::WindowKind::kCount &&
+          resume_state.window_capacity != args.window) ||
+         (want_kind == psky::WindowKind::kTime &&
+          resume_state.time_span != args.time_span))) {
       std::fprintf(stderr,
                    "error: checkpoint was taken with a different "
                    "dims/q/window configuration\n");
       return 1;
     }
-    resumed = true;
+    if (!resumed_with_checkpoint && !recovered.tail.empty() &&
+        recovered.tail.front().element.pos.dims() != args.dims) {
+      std::fprintf(stderr, "error: WAL records carry %d dims, --dims is %d\n",
+                   recovered.tail.front().element.pos.dims(), args.dims);
+      return 1;
+    }
   }
 
   psky::SkyTree::Options options;
@@ -599,12 +856,39 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<psky::CountWindow> count_window;
   std::unique_ptr<psky::TimeWindow> time_window;
+  std::unique_ptr<psky::StoredCountWindow> disk_window;
   if (args.time_span > 0.0) {
     time_window =
         std::make_unique<psky::TimeWindow>(args.time_span, args.ooo_policy);
+  } else if (args.window_store == "disk") {
+    psky::SegmentStore::Options store_opts;
+    store_opts.dir = !args.store_dir.empty() ? args.store_dir
+                     : !args.checkpoint_dir.empty()
+                         ? args.checkpoint_dir + "/segments"
+                         : "psky-segments";
+    store_opts.dims = args.dims;
+    store_opts.elements_per_segment = args.segment_elems;
+    disk_window =
+        std::make_unique<psky::StoredCountWindow>(args.window, store_opts);
+    std::string error;
+    if (!disk_window->Init(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 3;
+    }
+    // Segments are per-run scratch: reap leftovers from a crashed run.
+    const size_t stale = psky::SweepSegmentFiles(store_opts.dir);
+    if (stale > 0) {
+      std::fprintf(stderr, "removed %zu stale segment file(s) from %s\n",
+                   stale, store_opts.dir.c_str());
+    }
   } else {
     count_window = std::make_unique<psky::CountWindow>(args.window);
   }
+  auto window_snapshot = [&]() {
+    return time_window != nullptr   ? time_window->Snapshot()
+           : disk_window != nullptr ? disk_window->Snapshot()
+                                    : count_window->Snapshot();
+  };
 
   CarriedCounters carried;
   uint64_t step = 0;
@@ -615,6 +899,8 @@ int main(int argc, char** argv) {
     for (const auto& e : resume_state.window) {
       if (time_window != nullptr) {
         time_window->Push(e, nullptr);
+      } else if (disk_window != nullptr) {
+        disk_window->Push(e);
       } else {
         count_window->Push(e);
       }
@@ -628,6 +914,43 @@ int main(int argc, char** argv) {
                  "resumed at step %llu (window holds %zu elements)\n",
                  static_cast<unsigned long long>(step),
                  resume_state.window.size());
+  }
+
+  // --- WAL tail replay (crash recovery past the checkpoint) -------------
+  if (args.wal && !recovered.tail.empty()) {
+    std::vector<psky::UncertainElement> tail_expired;
+    for (const psky::WalRecord& r : recovered.tail) {
+      psky::UncertainElement e = r.element;
+      if (time_window != nullptr) {
+        tail_expired.clear();
+        // The WAL holds only admitted elements with already-clamped
+        // timestamps, so re-admission cannot fail.
+        PSKY_CHECK_MSG(time_window->TryPush(&e, &tail_expired),
+                       "WAL replay: admitted element rejected");
+        for (const auto& old : tail_expired) op.Expire(old);
+      } else if (disk_window != nullptr) {
+        if (disk_window->full()) op.Expire(disk_window->PushRotate(e));
+        else disk_window->Push(e);
+      } else {
+        if (count_window->full()) op.Expire(count_window->PushRotate(e));
+        else count_window->Push(e);
+      }
+      op.Insert(e);
+      step = r.step_after;
+    }
+    if (options.record_events) op.TakeSkylineDelta();  // replay is not news
+    // The tip record carries the absolute source position and cumulative
+    // counters: fast-forward the source from it (not the checkpoint) and
+    // restart the run-relative counters at zero.
+    const psky::WalRecord& tip = recovered.tail.back();
+    resume_state.next_seq = tip.next_seq_after;
+    resume_state.lines_consumed = tip.lines_after;
+    carried.bad_lines_skipped = tip.skipped_total;
+    carried.probs_clamped = tip.clamped_total;
+    carried.ooo_dropped = tip.ooo_total;
+    std::fprintf(stderr, "replayed %zu WAL record(s); now at step %llu\n",
+                 recovered.tail.size(),
+                 static_cast<unsigned long long>(step));
   }
 
   Source source(args, resumed ? &resume_state : nullptr);
@@ -659,7 +982,8 @@ int main(int argc, char** argv) {
     } else {
       state.window_kind = psky::WindowKind::kCount;
       state.window_capacity = args.window;
-      state.window = count_window->Snapshot();
+      state.window = disk_window != nullptr ? disk_window->Snapshot()
+                                            : count_window->Snapshot();
     }
     state.elements_consumed = step;
     state.lines_consumed = last.lines;
@@ -678,8 +1002,128 @@ int main(int argc, char** argv) {
   io_policy.seed = args.seed ^ 0x9E3779B97F4A7C15ull;
   psky::RetryStats io_stats;
 
+  // --- write-ahead log ---------------------------------------------------
+  psky::WalWriter wal;
+  psky::DiskPressureGovernor wal_governor;
+  if (args.wal) {
+    std::string error;
+    int saved_errno = 0;
+    bool opened = false;
+    if (resumed && !recovered.active_wal.empty()) {
+      uint64_t next_step = 0;
+      if (wal.OpenForAppend(recovered.active_wal, &error, &saved_errno,
+                            &next_step)) {
+        if (next_step == step + 1) {
+          opened = true;
+        } else {
+          std::fprintf(stderr,
+                       "warning: %s continues at step %llu but the run "
+                       "resumes at %llu; starting a fresh log\n",
+                       recovered.active_wal.c_str(),
+                       static_cast<unsigned long long>(next_step),
+                       static_cast<unsigned long long>(step + 1));
+          wal.Close();
+        }
+      } else {
+        std::fprintf(stderr,
+                     "warning: cannot append to %s: %s; starting a fresh "
+                     "log\n",
+                     recovered.active_wal.c_str(), error.c_str());
+      }
+    }
+    if (!opened) {
+      std::error_code ec;
+      if (!resumed) {
+        // A fresh (non-resume) run starts a new element sequence; logs
+        // from an abandoned stream would only confuse later recovery.
+        size_t removed = 0;
+        for (const std::string& old :
+             psky::ListWalFiles(args.checkpoint_dir)) {
+          if (std::filesystem::remove(old, ec)) ++removed;
+        }
+        if (removed > 0) {
+          std::fprintf(stderr, "removed %zu abandoned WAL file(s) from %s\n",
+                       removed, args.checkpoint_dir.c_str());
+        }
+      }
+      const std::string path =
+          args.checkpoint_dir + "/" + psky::WalFileName(step);
+      std::filesystem::remove(path, ec);  // stale same-step log, if any
+      if (!wal.Create(path, static_cast<uint32_t>(args.dims), step, &error,
+                      &saved_errno)) {
+        std::fprintf(stderr, "error: cannot create WAL: %s\n", error.c_str());
+        return 3;
+      }
+    }
+  }
+
+  // Stamps one admitted element into the WAL (before it reaches the
+  // operator) and drives the group-commit cadence, widened under disk
+  // pressure by the governor. Exhausting the retry budget is fatal: the
+  // WAL is never silently dropped (quarantine + exit 3 instead).
+  auto wal_log = [&](const psky::UncertainElement& admitted,
+                     const psky::IngestItem& item,
+                     uint64_t step_after) -> bool {
+    psky::WalRecord r;
+    r.element = admitted;
+    r.step_after = step_after;
+    r.next_seq_after = item.next_seq_after;
+    r.lines_after = item.lines_after;
+    r.skipped_total = carried.bad_lines_skipped + item.skipped_after;
+    r.clamped_total = carried.probs_clamped + item.clamped_after;
+    r.ooo_total = carried.ooo_dropped +
+                  (time_window != nullptr ? time_window->rejected() : 0);
+    std::string error;
+    const bool appended = psky::RetryWithBackoff(
+        io_policy,
+        [&](int* err) { return wal.Append(r, &error, err); }, &io_stats);
+    if (!appended) {
+      std::fprintf(stderr, "error: WAL append failed: %s\n", error.c_str());
+      DumpQuarantine("WAL append failed: " + error);
+      return false;
+    }
+    if (wal.pending() < args.wal_sync_every * wal_governor.multiplier()) {
+      return true;
+    }
+    const auto sync_start = std::chrono::steady_clock::now();
+    const uint64_t retries_before = io_stats.retries;
+    const bool synced = psky::RetryWithBackoff(
+        io_policy, [&](int* err) { return wal.Sync(&error, err); },
+        &io_stats);
+    if (!synced) {
+      std::fprintf(stderr, "error: WAL sync failed: %s\n", error.c_str());
+      DumpQuarantine("WAL sync failed: " + error);
+      return false;
+    }
+    const auto sync_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - sync_start)
+            .count());
+    const bool strained = io_stats.retries > retries_before;
+    if (wal_governor.ObserveSync(strained, sync_ms)) {
+      std::fprintf(
+          stderr, "disk-pressure: group-commit window now %llux%llu\n",
+          static_cast<unsigned long long>(wal_governor.multiplier()),
+          static_cast<unsigned long long>(args.wal_sync_every));
+    }
+    return true;
+  };
+
   uint64_t checkpoints_written = 0;
   auto write_checkpoint = [&]() -> bool {
+    // WAL-before-checkpoint: everything the snapshot covers must already
+    // be durable, or a crash between the two could lose acknowledged
+    // records that the next resume then skips past.
+    if (args.wal) {
+      std::string error;
+      if (!psky::RetryWithBackoff(
+              io_policy, [&](int* err) { return wal.Sync(&error, err); },
+              &io_stats)) {
+        std::fprintf(stderr, "error: WAL sync failed: %s\n", error.c_str());
+        DumpQuarantine("WAL sync failed: " + error);
+        return false;
+      }
+    }
     const std::string path =
         args.checkpoint_dir + "/" + psky::CheckpointFileName(step);
     std::string error;
@@ -691,8 +1135,36 @@ int main(int argc, char** argv) {
       DumpQuarantine("checkpoint write failed: " + error);
       return false;
     }
-    psky::PruneCheckpoints(args.checkpoint_dir, 2);
+    psky::PruneCheckpoints(args.checkpoint_dir, args.keep_checkpoints);
     ++checkpoints_written;
+    if (args.wal &&
+        wal.path() !=
+            args.checkpoint_dir + "/" + psky::WalFileName(step)) {
+      // Rotate so wal-<step>.pskywal holds exactly the records a resume
+      // from this checkpoint needs, then drop logs no retained checkpoint
+      // can reach. (Skipped when a final checkpoint repeats the last
+      // periodic step: the rotation already happened.)
+      std::string rot_error;
+      if (!psky::RetryWithBackoff(
+              io_policy,
+              [&](int* err) {
+                return wal.RotateTo(args.checkpoint_dir, step, &rot_error,
+                                    err);
+              },
+              &io_stats)) {
+        std::fprintf(stderr, "error: WAL rotation failed: %s\n",
+                     rot_error.c_str());
+        DumpQuarantine("WAL rotation failed: " + rot_error);
+        return false;
+      }
+      uint64_t oldest_kept = step;
+      for (const std::string& p :
+           psky::ListCheckpointFiles(args.checkpoint_dir)) {
+        uint64_t s = 0;
+        if (psky::ParseCheckpointStep(p, &s)) oldest_kept = std::min(oldest_kept, s);
+      }
+      psky::PruneWalFiles(args.checkpoint_dir, oldest_kept);
+    }
     return true;
   };
 
@@ -708,10 +1180,7 @@ int main(int argc, char** argv) {
   audit_options.audit_every = args.audit_every;
   audit_options.oracle_every = args.audit_oracle_every;
   audit_options.pool = pool.get();
-  psky::AuditManager audit(&op, audit_options, [&]() {
-    return time_window != nullptr ? time_window->Snapshot()
-                                  : count_window->Snapshot();
-  });
+  psky::AuditManager audit(&op, audit_options, window_snapshot);
 
   g_postmortem.snapshot = build_state;
   g_postmortem.audit = &audit;
@@ -791,10 +1260,20 @@ int main(int argc, char** argv) {
         last.clamped = item.clamped_after;
         return -1;
       }
+      // Stamp the admitted (clamp-adjusted) element into the WAL before
+      // it reaches the operator.
+      if (args.wal && !wal_log(incoming, item, step + 1)) return 3;
       for (const auto& old : expired) op.Expire(old);
       op.Insert(incoming);
     } else {
-      if (count_window->full()) {
+      if (args.wal && !wal_log(element, item, step + 1)) return 3;
+      if (disk_window != nullptr) {
+        if (disk_window->full()) {
+          op.Expire(disk_window->PushRotate(element));
+        } else {
+          disk_window->Push(element);
+        }
+      } else if (count_window->full()) {
         op.Expire(count_window->PushRotate(element));
       } else {
         count_window->Push(element);
@@ -813,8 +1292,7 @@ int main(int argc, char** argv) {
       // alone: it also drives candidate retention, so damaging it can
       // cause an eviction (unrepairable by design) before the auditor's
       // next pass.
-      const auto window = time_window != nullptr ? time_window->Snapshot()
-                                                 : count_window->Snapshot();
+      const auto window = window_snapshot();
       for (auto it = window.rbegin(); it != window.rend(); ++it) {
         const auto view = op.tree().LookupForAudit(it->pos, it->seq);
         if (!view.found) continue;
@@ -1078,6 +1556,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %llu checkpoint(s) to %s\n",
                  static_cast<unsigned long long>(checkpoints_written),
                  args.checkpoint_dir.c_str());
+  }
+  if (args.wal) {
+    wal.Close();  // syncs any post-checkpoint tail records
+    const psky::WalWriter::Stats& ws = wal.stats();
+    std::fprintf(stderr,
+                 "wal: records=%llu syncs=%llu rotations=%llu "
+                 "group-commit=%llux%llu pressure-escalations=%llu\n",
+                 static_cast<unsigned long long>(ws.records_appended),
+                 static_cast<unsigned long long>(ws.syncs),
+                 static_cast<unsigned long long>(ws.rotations),
+                 static_cast<unsigned long long>(wal_governor.multiplier()),
+                 static_cast<unsigned long long>(args.wal_sync_every),
+                 static_cast<unsigned long long>(wal_governor.escalations()));
+  }
+  if (disk_window != nullptr) {
+    const psky::SegmentStore::Stats ss = disk_window->store_stats();
+    std::fprintf(stderr,
+                 "segment-store: created=%llu recycled=%llu live=%llu\n",
+                 static_cast<unsigned long long>(ss.segments_created),
+                 static_cast<unsigned long long>(ss.segments_recycled),
+                 static_cast<unsigned long long>(ss.segments_live));
   }
   if (args.io_retries > 0 || io_stats.retries > 0) {
     std::fprintf(stderr,
