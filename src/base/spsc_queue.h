@@ -1,0 +1,168 @@
+// Bounded single-producer / single-consumer queue.
+//
+// The sharded ingestion engine (core/shard_engine.h) gives every shard
+// one of these: the router thread is the only producer and the shard
+// worker the only consumer, so the fast path is two relaxed loads, one
+// store, and one release/acquire pair per element — no CAS loops, no
+// locks, no allocation after construction.
+//
+// The slow path (queue full or empty) parks on a mutex + condvar
+// doorbell instead of spinning. That choice is deliberate: the engine
+// must behave well when shards outnumber cores (including the
+// single-core CI runners), where busy-waiting consumers would starve
+// the producer that is trying to feed them.
+//
+// Memory ordering contract: the producer publishes an element with a
+// release store of head_; the consumer observes it with an acquire load.
+// Everything the producer wrote to the slot before Push() therefore
+// happens-before the consumer's read after Pop() — the property the
+// shard-state determinism proof in shard_engine.h leans on.
+
+#ifndef PSKY_BASE_SPSC_QUEUE_H_
+#define PSKY_BASE_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace psky {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Blocks while the queue is full; returns false only
+  /// when Close() raced ahead (no element is enqueued then).
+  bool Push(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
+      if (!WaitNotFull(head)) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    RingDoorbell(&consumer_waiting_);
+    return true;
+  }
+
+  /// Producer side, non-blocking: returns false when full or closed.
+  bool TryPush(T value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    RingDoorbell(&consumer_waiting_);
+    return true;
+  }
+
+  /// Consumer side: moves up to `max` available elements into `*out`
+  /// (appended; `*out` is not cleared). Blocks while the queue is empty
+  /// and not closed. Returns the number popped; 0 means closed-and-
+  /// drained.
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      if (!WaitNotEmpty(tail, &head)) return 0;
+    }
+    size_t n = head - tail;
+    if (n > max) n = max;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(slots_[(tail + i) & mask_]));
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    RingDoorbell(&producer_waiting_);
+    return n;
+  }
+
+  /// Producer side: marks the stream complete. Consumers drain what is
+  /// queued and then see PopBatch() == 0.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(door_mu_);
+      closed_.store(true, std::memory_order_release);
+    }
+    door_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Instantaneous depth; racy by nature, for stats only.
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+ private:
+  // Doorbell protocol (eventcount-style): the waiter sets its waiting
+  // flag, fences seq_cst, then re-checks the index; the publisher stores
+  // the index, fences seq_cst, then checks the flag. The paired fences
+  // guarantee at least one side observes the other, so either the
+  // publisher notifies (under the mutex, where the waiter re-checks the
+  // predicate before sleeping — no lost wakeup) or the waiter sees the
+  // fresh index and never sleeps.
+  void RingDoorbell(std::atomic<bool>* flag) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (flag->load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(door_mu_);
+      door_cv_.notify_all();
+    }
+  }
+
+  bool WaitNotFull(size_t head) {
+    std::unique_lock<std::mutex> lock(door_mu_);
+    producer_waiting_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    door_cv_.wait(lock, [&] {
+      return closed_.load(std::memory_order_acquire) ||
+             head - tail_.load(std::memory_order_acquire) < slots_.size();
+    });
+    producer_waiting_.store(false, std::memory_order_relaxed);
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+  bool WaitNotEmpty(size_t tail, size_t* head) {
+    std::unique_lock<std::mutex> lock(door_mu_);
+    consumer_waiting_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    door_cv_.wait(lock, [&] {
+      *head = head_.load(std::memory_order_acquire);
+      return *head != tail || closed_.load(std::memory_order_acquire);
+    });
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+    return *head != tail;
+  }
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  std::atomic<size_t> head_{0};  // next slot the producer writes
+  std::atomic<size_t> tail_{0};  // next slot the consumer reads
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex door_mu_;
+  std::condition_variable door_cv_;
+};
+
+}  // namespace psky
+
+#endif  // PSKY_BASE_SPSC_QUEUE_H_

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -340,7 +341,10 @@ size_t PruneWalFiles(const std::string& dir, uint64_t keep_from_step) {
   return removed;
 }
 
-WalWriter::~WalWriter() { Close(); }
+WalWriter::~WalWriter() {
+  Close();
+  SetAsyncSync(false);  // joins the overlapped-sync worker, if any
+}
 
 bool WalWriter::Create(const std::string& path, uint32_t dims,
                        uint64_t start_step, std::string* error,
@@ -400,6 +404,7 @@ bool WalWriter::Create(const std::string& path, uint32_t dims,
                   "cannot reopen " + path + ": " + ErrnoString(errno));
   }
   fd_ = fd;
+  UpdateAsyncFd(fd_);
   path_ = path;
   dims_ = dims;
   buffer_.clear();
@@ -425,6 +430,7 @@ bool WalWriter::OpenForAppend(const std::string& path, std::string* error,
                   "cannot open " + path + ": " + ErrnoString(errno));
   }
   fd_ = fd;
+  UpdateAsyncFd(fd_);
   path_ = path;
   dims_ = contents.dims;
   buffer_.clear();
@@ -482,17 +488,7 @@ bool WalWriter::Append(const WalRecord& r, std::string* error,
   return true;
 }
 
-bool WalWriter::Sync(std::string* error, int* out_errno) {
-  if (fd_ < 0) return FailIo(error, out_errno, 0, "WAL is not open");
-  if (pending_ == 0 && buffer_.empty()) return true;
-  if (fault::Enabled()) {
-    if (const int inj = fault::FailErrno(fault::Site::kWalFsync)) {
-      return FailIo(error, out_errno, inj,
-                    "cannot sync " + path_ + ": " + ErrnoString(inj) +
-                        " (injected)");
-    }
-  }
-  if (!FlushBuffer(error, out_errno)) return false;
+bool WalWriter::DataSyncNow(std::string* error, int* out_errno) {
   // fdatasync is enough for crash safety here: record data and the file
   // size reach the journal, and the directory entry was already fsynced
   // by Create/RotateTo. Skipping the timestamp flush shaves a solid
@@ -505,15 +501,152 @@ bool WalWriter::Sync(std::string* error, int* out_errno) {
   // hours-long stream doesn't evict the operator's working set from the
   // page cache. Advisory only — failure is not an error.
   (void)::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+  return true;
+}
+
+bool WalWriter::ConsumeStickyError(std::string* error, int* out_errno) {
+  {
+    std::lock_guard<std::mutex> lock(async_.mu);
+    if (async_.sticky_errno == 0 && async_.sticky_error.empty()) return true;
+    if (error != nullptr) *error = async_.sticky_error;
+    if (out_errno != nullptr) *out_errno = async_.sticky_errno;
+    async_.sticky_errno = 0;
+    async_.sticky_error.clear();
+    // The failed fdatasync left appended bytes unsynced. Queue another
+    // attempt so a retrying caller's next Sync()/SyncBarrier() waits on
+    // a fresh fdatasync instead of vacuously succeeding.
+    ++async_.requested;
+  }
+  async_.cv.notify_all();
+  return false;
+}
+
+bool WalWriter::Sync(std::string* error, int* out_errno) {
+  if (fd_ < 0) return FailIo(error, out_errno, 0, "WAL is not open");
+  // Surface a background-sync failure before anything else, so the
+  // caller's retry path sees overlapped failures exactly where it would
+  // see synchronous ones.
+  if (async_.enabled && !ConsumeStickyError(error, out_errno)) return false;
+  if (pending_ == 0 && buffer_.empty()) return true;
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kWalFsync)) {
+      return FailIo(error, out_errno, inj,
+                    "cannot sync " + path_ + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
+  }
+  if (!FlushBuffer(error, out_errno)) return false;
+  if (async_.enabled) {
+    {
+      std::lock_guard<std::mutex> lock(async_.mu);
+      ++async_.requested;
+    }
+    async_.cv.notify_all();
+    pending_ = 0;
+    ++stats_.syncs;
+    ++stats_.async_syncs;
+    return true;
+  }
+  if (!DataSyncNow(error, out_errno)) return false;
   pending_ = 0;
   ++stats_.syncs;
   return true;
+}
+
+void WalWriter::AsyncSyncLoop() {
+  while (true) {
+    uint64_t target = 0;
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(async_.mu);
+      async_.cv.wait(lock, [this] {
+        return async_.stop || async_.requested > async_.completed;
+      });
+      if (async_.stop && async_.requested == async_.completed) return;
+      target = async_.requested;
+      fd = async_.fd;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    int err = 0;
+    if (fd < 0) {
+      err = EBADF;
+    } else if (::fdatasync(fd) != 0) {
+      err = errno;
+    } else {
+      (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    }
+    const uint64_t latency_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    {
+      std::lock_guard<std::mutex> lock(async_.mu);
+      // One fdatasync covers every request issued before it started.
+      if (target > async_.completed) async_.completed = target;
+      async_.last_latency_ms = latency_ms;
+      if (err != 0) {
+        async_.sticky_errno = err;
+        async_.sticky_error =
+            "cannot sync " + path_ + ": " + ErrnoString(err) + " (overlapped)";
+      }
+    }
+    async_.cv.notify_all();
+  }
+}
+
+void WalWriter::SetAsyncSync(bool enabled) {
+  if (enabled == async_.enabled) return;
+  if (enabled) {
+    {
+      std::lock_guard<std::mutex> lock(async_.mu);
+      async_.stop = false;
+      async_.fd = fd_;
+    }
+    async_.thread = std::thread([this] { AsyncSyncLoop(); });
+    async_.enabled = true;
+    return;
+  }
+  SyncBarrier(nullptr, nullptr);  // best effort; sticky error survives
+  {
+    std::lock_guard<std::mutex> lock(async_.mu);
+    async_.stop = true;
+  }
+  async_.cv.notify_all();
+  if (async_.thread.joinable()) async_.thread.join();
+  async_.enabled = false;
+}
+
+bool WalWriter::SyncBarrier(std::string* error, int* out_errno) {
+  if (!async_.enabled) return true;
+  {
+    std::unique_lock<std::mutex> lock(async_.mu);
+    async_.cv.wait(lock, [this] {
+      return async_.completed >= async_.requested;
+    });
+  }
+  return ConsumeStickyError(error, out_errno);
+}
+
+uint64_t WalWriter::TakeAsyncSyncLatencyMs() {
+  std::lock_guard<std::mutex> lock(async_.mu);
+  const uint64_t latency = async_.last_latency_ms;
+  async_.last_latency_ms = 0;
+  return latency;
+}
+
+void WalWriter::UpdateAsyncFd(int fd) {
+  std::lock_guard<std::mutex> lock(async_.mu);
+  async_.fd = fd;
 }
 
 bool WalWriter::RotateTo(const std::string& dir, uint64_t start_step,
                          std::string* error, int* out_errno) {
   if (fd_ >= 0) {
     if (!Sync(error, out_errno)) return false;
+    // Overlapped mode: wait out any in-flight fdatasync before the fd
+    // closes — SyncBarrier returning means the worker is idle.
+    if (!SyncBarrier(error, out_errno)) return false;
+    UpdateAsyncFd(-1);
     ::close(fd_);
     fd_ = -1;
   }
@@ -529,6 +662,8 @@ void WalWriter::Close() {
   if (fd_ < 0) return;
   std::string error;
   Sync(&error, nullptr);  // best effort; Close has no failure channel
+  SyncBarrier(&error, nullptr);
+  UpdateAsyncFd(-1);
   ::close(fd_);
   fd_ = -1;
   path_.clear();

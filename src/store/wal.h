@@ -37,9 +37,12 @@
 #ifndef PSKY_STORE_WAL_H_
 #define PSKY_STORE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "stream/element.h"
@@ -125,6 +128,7 @@ class WalWriter {
   struct Stats {
     uint64_t records_appended = 0;
     uint64_t syncs = 0;
+    uint64_t async_syncs = 0;  ///< Sync() calls that overlapped fdatasync
     uint64_t rotations = 0;
   };
 
@@ -150,7 +154,33 @@ class WalWriter {
 
   /// Flushes buffered records and fsyncs. Honors the wal-fsync fault
   /// site. Safe to call with nothing pending (no-op, not counted).
+  ///
+  /// With SetAsyncSync(true), the file write still happens here but the
+  /// fdatasync is handed to a background thread and Sync() returns
+  /// immediately — group-commit stalls overlap the next batch instead of
+  /// landing on the step path. A background fdatasync failure is sticky:
+  /// the next Sync()/SyncBarrier() reports it (once) so the caller's
+  /// retry/quarantine machinery engages exactly as in synchronous mode.
+  /// The wal-fsync fault site is still evaluated here, on the caller
+  /// thread, keeping chaos schedules deterministic.
   bool Sync(std::string* error, int* out_errno);
+
+  /// Opts in/out of overlapped group commit (see Sync). Turning it off
+  /// drains the background thread first. Call between, not during,
+  /// Sync/Append sequences.
+  void SetAsyncSync(bool enabled);
+  bool async_sync() const { return async_.enabled; }
+
+  /// Blocks until every overlapped fdatasync completed; reports (and
+  /// clears) a sticky background failure. The durability barrier the
+  /// checkpoint path needs: after a successful SyncBarrier every record
+  /// passed to a successful Sync() is on disk. No-op in sync mode.
+  bool SyncBarrier(std::string* error, int* out_errno);
+
+  /// Milliseconds the most recently completed overlapped fdatasync took;
+  /// resets to 0 once read. Feeds the DiskPressureGovernor, which would
+  /// otherwise only see the (cheap) enqueue latency.
+  uint64_t TakeAsyncSyncLatencyMs();
 
   /// Syncs and closes the current log, then Creates
   /// `dir`/WalFileName(start_step) and switches appending to it.
@@ -169,6 +199,14 @@ class WalWriter {
 
  private:
   bool FlushBuffer(std::string* error, int* out_errno);
+  /// The synchronous fdatasync + fadvise tail of Sync().
+  bool DataSyncNow(std::string* error, int* out_errno);
+  /// Reports and clears the sticky background-sync error, if any, and
+  /// queues a fresh fdatasync for the still-unsynced bytes so a retrying
+  /// caller's next Sync/SyncBarrier waits on a real attempt.
+  bool ConsumeStickyError(std::string* error, int* out_errno);
+  void AsyncSyncLoop();
+  void UpdateAsyncFd(int fd);
 
   int fd_ = -1;
   std::string path_;
@@ -176,6 +214,26 @@ class WalWriter {
   std::string buffer_;
   uint64_t pending_ = 0;
   Stats stats_;
+
+  /// Overlapped group-commit state. `mu` guards everything below it;
+  /// the worker snapshots `fd` and the request ticket under the lock,
+  /// runs fdatasync unlocked, then publishes completion — so
+  /// SyncBarrier() returning means no fdatasync is in flight and the fd
+  /// may be closed.
+  struct AsyncSync {
+    bool enabled = false;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t requested = 0;
+    uint64_t completed = 0;
+    int sticky_errno = 0;
+    std::string sticky_error;
+    uint64_t last_latency_ms = 0;
+    int fd = -1;
+    bool stop = false;
+  };
+  AsyncSync async_;
 };
 
 /// The disk-pressure rung of the degradation ladder: widens the WAL

@@ -1,0 +1,395 @@
+// Sharded-vs-sequential equivalence suite.
+//
+// The contract under test (see core/shard_engine.h): the merged global
+// skyline contains exactly the same members, by arrival sequence, as the
+// sequential SSKY operator run over the same stream, and every reported
+// probability agrees within summation-order rounding. The sequential
+// side accumulates P_new/P_old lazily in arrival order while the merge
+// recomputes them canonically per shard, so doubles are compared within
+// 1e-9 — far above ulp noise, far below any honest probability gap —
+// while membership and ordering are compared exactly. Window snapshots,
+// by contrast, pass elements through untouched and must be
+// byte-identical (checkpoint interchangeability).
+
+#include "core/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "geom/dominance.h"
+#include "core/operator.h"
+#include "core/ssky_operator.h"
+#include "geom/cell_grid.h"
+#include "stream/generator.h"
+#include "stream/window.h"
+
+namespace psky {
+namespace {
+
+constexpr int kDims = 3;
+constexpr double kQ = 0.3;
+constexpr size_t kStream = 6000;
+constexpr size_t kWindow = 2000;
+constexpr double kTol = 1e-9;
+
+std::vector<UncertainElement> MakeStream(SpatialDistribution spatial,
+                                         uint64_t seed = 77) {
+  StreamConfig cfg;
+  cfg.dims = kDims;
+  cfg.spatial = spatial;
+  cfg.seed = seed;
+  return StreamGenerator(cfg).Take(kStream);
+}
+
+void ExpectSkylineEquivalent(const std::vector<SkylineMember>& seq,
+                             const std::vector<SkylineMember>& sharded) {
+  ASSERT_EQ(seq.size(), sharded.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].element.seq, sharded[i].element.seq);
+    EXPECT_NEAR(seq[i].pnew, sharded[i].pnew, kTol);
+    EXPECT_NEAR(seq[i].pold, sharded[i].pold, kTol);
+    EXPECT_NEAR(seq[i].psky, sharded[i].psky, kTol);
+    EXPECT_TRUE(sharded[i].in_skyline);
+  }
+}
+
+void ExpectWindowsIdentical(const std::vector<UncertainElement>& a,
+                            const std::vector<UncertainElement>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    // Bit-identity: elements pass through the router untouched.
+    EXPECT_EQ(a[i].prob, b[i].prob);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+ShardEngine::Options CountOptions(int shards,
+                                  ShardStrategy strategy =
+                                      ShardStrategy::kGrid) {
+  ShardEngine::Options opts;
+  opts.dims = kDims;
+  opts.q = kQ;
+  opts.shards = shards;
+  opts.strategy = strategy;
+  opts.window_capacity = kWindow;
+  return opts;
+}
+
+// Runs the stream through a sequential StreamProcessor and a sharded
+// engine side by side, comparing skylines at several mid-stream barriers
+// (window filling, full, steady state) and at the end.
+void RunCountEquivalence(SpatialDistribution spatial, int shards,
+                         ShardStrategy strategy) {
+  const std::vector<UncertainElement> stream = MakeStream(spatial);
+  SskyOperator seq_op(kDims, kQ);
+  StreamProcessor seq(&seq_op, kWindow);
+  ShardEngine engine(CountOptions(shards, strategy));
+
+  const size_t checkpoints[] = {kWindow / 2, kWindow, kStream / 2, kStream};
+  size_t next = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    seq.Step(stream[i]);
+    ASSERT_TRUE(engine.Route(stream[i]));
+    if (next < std::size(checkpoints) && i + 1 == checkpoints[next]) {
+      ++next;
+      ExpectSkylineEquivalent(seq_op.Skyline(), engine.GlobalSkyline());
+      ExpectWindowsIdentical(seq.window().Snapshot(),
+                             engine.WindowSnapshot());
+    }
+  }
+  ASSERT_EQ(next, std::size(checkpoints));
+}
+
+TEST(ShardEquivalence, AntiCorrelatedGrid) {
+  RunCountEquivalence(SpatialDistribution::kAntiCorrelated, 4,
+                      ShardStrategy::kGrid);
+}
+
+TEST(ShardEquivalence, IndependentGrid) {
+  RunCountEquivalence(SpatialDistribution::kIndependent, 3,
+                      ShardStrategy::kGrid);
+}
+
+TEST(ShardEquivalence, CorrelatedGrid) {
+  RunCountEquivalence(SpatialDistribution::kCorrelated, 2,
+                      ShardStrategy::kGrid);
+}
+
+TEST(ShardEquivalence, AntiCorrelatedBandStrategy) {
+  RunCountEquivalence(SpatialDistribution::kAntiCorrelated, 4,
+                      ShardStrategy::kBand);
+}
+
+TEST(ShardEquivalence, SingleShardDegeneratesToSequential) {
+  RunCountEquivalence(SpatialDistribution::kIndependent, 1,
+                      ShardStrategy::kGrid);
+}
+
+// Time-window equivalence: the engine's router replicates
+// TimeWindow::TryPush decision for decision.
+void RunTimeEquivalence(SpatialDistribution spatial, int shards,
+                        TimestampPolicy policy, bool scramble) {
+  std::vector<UncertainElement> stream = MakeStream(spatial);
+  if (scramble) {
+    // Pull every 7th timestamp backwards so the policy actually fires.
+    for (size_t i = 7; i < stream.size(); i += 7) {
+      stream[i].time = stream[i - 3].time;
+    }
+  }
+  const double span = 2.0;  // seconds; ~2000 elements at the default rate
+
+  SskyOperator seq_op(kDims, kQ);
+  TimeWindow seq_win(span, policy);
+  ShardEngine::Options opts;
+  opts.dims = kDims;
+  opts.q = kQ;
+  opts.shards = shards;
+  opts.time_span = span;
+  opts.ooo_policy = policy;
+  ShardEngine engine(opts);
+
+  std::vector<UncertainElement> expired;
+  const size_t checkpoints[] = {kStream / 4, kStream / 2, kStream};
+  size_t next = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    UncertainElement e = stream[i];
+    expired.clear();
+    const bool seq_ok = seq_win.TryPush(&e, &expired);
+    const bool shard_ok = engine.Route(stream[i]);
+    ASSERT_EQ(seq_ok, shard_ok);
+    if (seq_ok) {
+      for (const UncertainElement& x : expired) seq_op.Expire(x);
+      seq_op.Insert(e);
+    }
+    if (next < std::size(checkpoints) && i + 1 == checkpoints[next]) {
+      ++next;
+      ExpectSkylineEquivalent(seq_op.Skyline(), engine.GlobalSkyline());
+      ExpectWindowsIdentical(seq_win.Snapshot(), engine.WindowSnapshot());
+    }
+  }
+  EXPECT_EQ(seq_win.rejected(), engine.rejected());
+  EXPECT_EQ(seq_win.clamped(), engine.clamped());
+  EXPECT_EQ(seq_win.watermark(), engine.watermark());
+}
+
+TEST(ShardEquivalence, TimeWindowInOrder) {
+  RunTimeEquivalence(SpatialDistribution::kAntiCorrelated, 3,
+                     TimestampPolicy::kReject, /*scramble=*/false);
+}
+
+TEST(ShardEquivalence, TimeWindowRejectsOutOfOrder) {
+  RunTimeEquivalence(SpatialDistribution::kIndependent, 2,
+                     TimestampPolicy::kReject, /*scramble=*/true);
+}
+
+TEST(ShardEquivalence, TimeWindowClampsOutOfOrder) {
+  RunTimeEquivalence(SpatialDistribution::kCorrelated, 4,
+                     TimestampPolicy::kClampToWatermark, /*scramble=*/true);
+}
+
+// Resume-from-checkpoint equivalence, both directions: a sequential
+// window snapshot restores into a sharded engine (and vice versa via
+// WindowSnapshot), and the continued streams stay equivalent.
+TEST(ShardEquivalence, ResumeSequentialCheckpointIntoShardedRun) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kAntiCorrelated);
+  const size_t cut = kStream / 2;
+
+  SskyOperator warm_op(kDims, kQ);
+  StreamProcessor warm(&warm_op, kWindow);
+  for (size_t i = 0; i < cut; ++i) warm.Step(stream[i]);
+  const std::vector<UncertainElement> snapshot = warm.window().Snapshot();
+
+  // Restored sharded engine vs. the uninterrupted sequential run.
+  ShardEngine engine(CountOptions(4));
+  engine.Restore(std::span<const UncertainElement>(snapshot));
+  ExpectWindowsIdentical(snapshot, engine.WindowSnapshot());
+  for (size_t i = cut; i < stream.size(); ++i) {
+    warm.Step(stream[i]);
+    ASSERT_TRUE(engine.Route(stream[i]));
+  }
+  ExpectSkylineEquivalent(warm_op.Skyline(), engine.GlobalSkyline());
+}
+
+TEST(ShardEquivalence, ShardedCheckpointRestoresIntoSequentialRun) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kIndependent);
+  const size_t cut = kStream / 2;
+
+  ShardEngine engine(CountOptions(3));
+  for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(engine.Route(stream[i]));
+  const std::vector<UncertainElement> snapshot = engine.WindowSnapshot();
+
+  // The snapshot must be what a sequential run would have checkpointed —
+  // byte-for-byte, through the real checkpoint encoder.
+  SskyOperator seq_op(kDims, kQ);
+  StreamProcessor seq(&seq_op, kWindow);
+  for (size_t i = 0; i < cut; ++i) seq.Step(stream[i]);
+  CheckpointState a;
+  a.dims = kDims;
+  a.q = kQ;
+  a.window_kind = WindowKind::kCount;
+  a.window_capacity = kWindow;
+  a.window = seq.window().Snapshot();
+  CheckpointState b = a;
+  b.window = snapshot;
+  EXPECT_EQ(EncodeCheckpoint(a), EncodeCheckpoint(b));
+
+  // Replay the sharded snapshot into a fresh sequential operator and
+  // continue both; they must stay equivalent.
+  SskyOperator resumed_op(kDims, kQ);
+  StreamProcessor resumed(&resumed_op, kWindow);
+  for (const UncertainElement& e : snapshot) resumed.Step(e);
+  ShardEngine resumed_engine(CountOptions(5));
+  resumed_engine.Restore(std::span<const UncertainElement>(snapshot));
+  for (size_t i = cut; i < stream.size(); ++i) {
+    resumed.Step(stream[i]);
+    ASSERT_TRUE(resumed_engine.Route(stream[i]));
+  }
+  ExpectSkylineEquivalent(resumed_op.Skyline(),
+                          resumed_engine.GlobalSkyline());
+}
+
+TEST(ShardEquivalence, ResumeWithDifferentShardCountAndTimeWindow) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kCorrelated);
+  const size_t cut = kStream / 3;
+  const double span = 1.5;
+
+  ShardEngine::Options opts;
+  opts.dims = kDims;
+  opts.q = kQ;
+  opts.shards = 2;
+  opts.time_span = span;
+  ShardEngine first(opts);
+  for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(first.Route(stream[i]));
+  const std::vector<UncertainElement> snapshot = first.WindowSnapshot();
+
+  opts.shards = 4;
+  ShardEngine second(opts);
+  second.Restore(std::span<const UncertainElement>(snapshot));
+
+  SskyOperator seq_op(kDims, kQ);
+  TimeWindow seq_win(span);
+  std::vector<UncertainElement> expired;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    UncertainElement e = stream[i];
+    expired.clear();
+    ASSERT_TRUE(seq_win.TryPush(&e, &expired));
+    for (const UncertainElement& x : expired) seq_op.Expire(x);
+    seq_op.Insert(e);
+    if (i >= cut) {
+      ASSERT_TRUE(second.Route(stream[i]));
+    }
+  }
+  ExpectSkylineEquivalent(seq_op.Skyline(), second.GlobalSkyline());
+}
+
+// Per-shard auditing rides inside the workers; on an honest stream it
+// must observe elements and report no violations.
+TEST(ShardEngine, PerShardAuditRunsClean) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kIndependent);
+  ShardEngine::Options opts = CountOptions(3);
+  opts.audit.mode = AuditMode::kCheck;
+  opts.audit.audit_every = 32;
+  opts.audit.oracle_every = 2000;
+  ShardEngine engine(opts);
+  for (const UncertainElement& e : stream) ASSERT_TRUE(engine.Route(e));
+  engine.Barrier();
+  const AuditReport report = engine.AuditReportMerged();
+  EXPECT_EQ(report.steps_seen, kStream);
+  EXPECT_GT(report.elements_audited, 0u);
+  EXPECT_GT(report.oracle_replays, 0u);
+  EXPECT_EQ(report.violations_unrepaired, 0u);
+  EXPECT_EQ(report.oracle_mismatches, 0u);
+}
+
+TEST(ShardEngine, StatsExposeDepthImbalanceAndMergeCounters) {
+  const std::vector<UncertainElement> stream =
+      MakeStream(SpatialDistribution::kAntiCorrelated);
+  ShardEngine engine(CountOptions(4));
+  for (const UncertainElement& e : stream) ASSERT_TRUE(engine.Route(e));
+  (void)engine.GlobalSkyline();
+  engine.Barrier();
+  const ShardEngine::Stats stats = engine.GetStats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t window_total = 0;
+  uint64_t inserted_total = 0;
+  for (const ShardEngine::ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.routed, s.applied);  // post-barrier
+    EXPECT_EQ(s.queue_depth, 0u);
+    window_total += s.window_elements;
+    inserted_total += s.inserted;
+  }
+  EXPECT_EQ(window_total, kWindow);
+  EXPECT_EQ(inserted_total, kStream);
+  EXPECT_GE(stats.imbalance, 1.0);
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_GT(stats.merge_candidates, 0u);
+  EXPECT_GT(stats.merge_probes, 0u);
+  // Anti-correlated data occupies a thin diagonal band of cells, so the
+  // grid precheck must actually skip some shard probes.
+  EXPECT_GT(stats.merge_cell_skips, 0u);
+}
+
+TEST(ShardEngine, RoutingIsDeterministicAndStrategySensitive) {
+  ShardEngine grid(CountOptions(4, ShardStrategy::kGrid));
+  ShardEngine band(CountOptions(4, ShardStrategy::kBand));
+  StreamConfig cfg;
+  cfg.dims = kDims;
+  StreamGenerator gen(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const UncertainElement e = gen.Next();
+    EXPECT_EQ(grid.ShardOf(e), grid.ShardOf(e));
+    const int b = band.ShardOf(e);
+    EXPECT_EQ(b, std::min(3, static_cast<int>(e.prob * 4)));
+  }
+}
+
+// --- CellGrid ---------------------------------------------------------
+
+TEST(CellGrid, ChooseResolutionRespectsBudget) {
+  EXPECT_EQ(CellGrid::ChooseResolution(2), 64u);   // 64^2 = 4096
+  EXPECT_EQ(CellGrid::ChooseResolution(3), 16u);   // 16^3 = 4096
+  EXPECT_EQ(CellGrid::ChooseResolution(5), 5u);    // 5^5 = 3125
+  EXPECT_EQ(CellGrid::ChooseResolution(8), 2u);    // floor
+}
+
+TEST(CellGrid, CellMappingClampsAndRoundTrips) {
+  CellGrid grid(2, 4);
+  EXPECT_EQ(grid.num_cells(), 16u);
+  EXPECT_EQ(grid.IndexOf(Point{0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.IndexOf(Point{0.99, 0.99}), 15u);
+  EXPECT_EQ(grid.IndexOf(Point{1.0, 1.0}), 15u);    // edge clamp
+  EXPECT_EQ(grid.IndexOf(Point{-0.5, 2.0}), 3u);    // out-of-range clamp
+  for (uint64_t i = 0; i < grid.num_cells(); ++i) {
+    EXPECT_EQ(grid.IndexOf(grid.CellAt(i)), i);
+  }
+}
+
+TEST(CellGrid, MayDominateIsMonotoneWithDominance) {
+  CellGrid grid(3, 16);
+  StreamConfig cfg;
+  cfg.dims = 3;
+  StreamGenerator gen(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const Point a = gen.Next().pos;
+    const Point b = gen.Next().pos;
+    if (Dominates(a, b)) {
+      EXPECT_TRUE(
+          CellGrid::MayDominate(grid.CellOf(a), grid.CellOf(b), 3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psky

@@ -7,15 +7,22 @@ Usage:
         Exit 0 when the file is a well-formed hot-path bench result.
 
     bench_report.py compare BASELINE CURRENT [--max-regression 0.20]
+                                             [--max-p99-regression 0.50]
                                              [--max-wal-overhead 0.10]
         Prints a per-workload throughput/latency diff and exits 1 when any
         workload's elements/second regressed by more than the threshold
-        (fraction of the baseline). Improvements never fail the gate.
-        Additionally fails when the current run's recorded wal_overhead
-        (inde vs inde_wal throughput gap) exceeds the WAL budget — but
-        only at full scale, where the fsync cost is amortized over a
-        realistic stream; at tiny/quick scale the gap is noise-dominated
-        and only reported.
+        (fraction of the baseline), or its p99 step latency grew by more
+        than --max-p99-regression (tail latency is noisier than
+        throughput, so its default budget is wider; like the WAL budget
+        it is only enforced at full scale). Improvements never fail the
+        gate. Additionally fails when the current run's recorded
+        wal_overhead (inde vs inde_wal throughput gap) exceeds the WAL
+        budget — again only at full scale, where the fsync cost is
+        amortized over a realistic stream; at tiny/quick scale the gap is
+        noise-dominated and only reported. shard_scaling_efficiency
+        (eps(s8) / 8*eps(s1), from the sharded ingestion rows) is
+        reported for both files but never gated: it measures the host's
+        core count as much as the engine.
 
 Only the Python standard library is used.
 """
@@ -75,6 +82,34 @@ def validate(doc, path):
             errors.append("wal_overhead is not a number")
         elif not -1.0 < v < 1.0:
             errors.append(f"wal_overhead {v} is not a plausible fraction")
+    # shard_n / shard_window are optional: the stream size the shard rows
+    # ran on (capped below the sequential rows' n/window — per-shard
+    # candidate inflation makes full-window anti rows intractable; see
+    # bench_hotpath.cc).
+    for key in ("shard_n", "shard_window"):
+        if key in doc:
+            v = doc[key]
+            if not isinstance(v, int) or v <= 0:
+                errors.append(f"{key}: expected a positive integer")
+    # shard_scaling_efficiency is optional (pre-sharding result files lack
+    # it): eps(s8) / (8 * eps(s1)) per spatial workload. 1.0 is perfect
+    # linear scaling; allow mild superlinearity (cache effects) but reject
+    # nonsense.
+    if "shard_scaling_efficiency" in doc:
+        sse = doc["shard_scaling_efficiency"]
+        if not isinstance(sse, dict):
+            errors.append("shard_scaling_efficiency is not an object")
+        else:
+            for name, v in sse.items():
+                if not isinstance(v, (int, float)):
+                    errors.append(
+                        f"shard_scaling_efficiency {name}: not a number"
+                    )
+                elif not 0.0 < v < 1.5:
+                    errors.append(
+                        f"shard_scaling_efficiency {name}: {v} is not a "
+                        "plausible efficiency"
+                    )
     for name, w in doc["workloads"].items():
         for key, typ in WORKLOAD_KEYS.items():
             if key not in w:
@@ -121,6 +156,8 @@ def cmd_compare(args):
         )
 
     failed = []
+    p99_failed = []
+    gate_p99 = cur["scale"] == "full"
     print(
         f"{'workload':<10} {'base elem/s':>12} {'cur elem/s':>12} "
         f"{'delta':>8}  {'base p99us':>10} {'cur p99us':>10}"
@@ -139,10 +176,25 @@ def cmd_compare(args):
         if delta < -args.max_regression:
             failed.append(name)
             mark = "  << REGRESSION"
+        if (
+            gate_p99
+            and b["p99_step_us"] > 0
+            and (c["p99_step_us"] - b["p99_step_us"]) / b["p99_step_us"]
+            > args.max_p99_regression
+        ):
+            p99_failed.append(name)
+            mark += "  << P99 REGRESSION"
         print(
             f"{name:<10} {b_eps:>12.0f} {c_eps:>12.0f} {delta:>+7.1%}  "
             f"{b['p99_step_us']:>10.2f} {c['p99_step_us']:>10.2f}{mark}"
         )
+    for path, doc in ((args.baseline, base), (args.current, cur)):
+        sse = doc.get("shard_scaling_efficiency")
+        if sse:
+            pretty = ", ".join(
+                f"{k}={v:.3f}" for k, v in sorted(sse.items())
+            )
+            print(f"shard scaling efficiency ({path}): {pretty}")
     wal_failed = False
     if "wal_overhead" in cur:
         overhead = cur["wal_overhead"]
@@ -161,9 +213,19 @@ def cmd_compare(args):
             file=sys.stderr,
         )
         return 1
+    if p99_failed:
+        print(
+            f"FAIL: p99 step latency grew more than "
+            f"{args.max_p99_regression:.0%} on: {', '.join(p99_failed)}",
+            file=sys.stderr,
+        )
+        return 1
     if wal_failed:
         return 1
-    print(f"PASS: no workload regressed more than {args.max_regression:.0%}")
+    print(
+        f"PASS: no workload regressed more than {args.max_regression:.0%} "
+        f"(p99 budget {args.max_p99_regression:.0%})"
+    )
     return 0
 
 
@@ -177,6 +239,7 @@ def main():
     p_cmp.add_argument("baseline")
     p_cmp.add_argument("current")
     p_cmp.add_argument("--max-regression", type=float, default=0.20)
+    p_cmp.add_argument("--max-p99-regression", type=float, default=0.50)
     p_cmp.add_argument("--max-wal-overhead", type=float, default=0.10)
     p_cmp.set_defaults(func=cmd_compare)
     args = parser.parse_args()

@@ -31,6 +31,11 @@
 //                            bound data loss (recovery re-reads the
 //                            source tail); it only matters for inputs
 //                            that cannot be re-read, e.g. piped CSV
+//   --wal-sync-mode M        async (default) overlaps the fdatasync with
+//                            the next batch on a background thread —
+//                            same durability barrier at checkpoints,
+//                            failures surface on the next sync; sync
+//                            blocks the step path on every fdatasync
 //   --keep-checkpoints N     checkpoint retention (default 2); WAL files
 //                            are pruned against the oldest kept checkpoint
 //   --window-store mem|disk  where the window buffer lives; disk keeps it
@@ -44,6 +49,21 @@
 // SIGINT/SIGTERM drain gracefully: queued elements are processed, a final
 // checkpoint is flushed (when a checkpoint dir is configured) and counters
 // are reported before exit.
+//
+// Sharded parallel ingestion (see docs/algorithm.md "Sharded ingestion"):
+//   --shards N               partition the stream across N per-shard
+//                            sky-trees, each on its own worker thread
+//                            behind a lock-free SPSC queue; queries run
+//                            an exact cross-shard merge (bit-equivalent
+//                            window state, same skyline within rounding).
+//                            1 (default) keeps the sequential operator
+//   --shard-by grid|band     partition function: spatial grid cell hash
+//                            (default) or occurrence-probability band
+//   Sharded runs support --emit counts|final (and --topk); deltas,
+//   --window-store disk, --query-deadline-ms and --inject-drift-at
+//   require the sequential operator. --threads only drives the audit
+//   oracle pool and is ignored with --shards > 1 (each shard audits on
+//   its own worker).
 //
 // Overload management (see docs/operations.md):
 //   --max-queue N            bounded ingest queue in front of the operator;
@@ -102,6 +122,7 @@
 #include "core/checkpoint.h"
 #include "core/overload.h"
 #include "core/naive_operator.h"
+#include "core/shard_engine.h"
 #include "core/ssky_operator.h"
 #include "core/topk_operator.h"
 #include "store/recovery.h"
@@ -139,6 +160,11 @@ struct Args {
   /// shadow-oracle replay). 1 keeps everything on the main thread; 0
   /// means "one per hardware thread".
   int threads = 1;
+  /// Stream partitions, each with its own sky-tree and worker thread;
+  /// 1 keeps the sequential operator (the default, bit-identical to
+  /// previous releases).
+  int shards = 1;
+  psky::ShardStrategy shard_by = psky::ShardStrategy::kGrid;
   std::string checkpoint_dir;       // empty: checkpointing disabled
   uint64_t checkpoint_every = 0;    // 0: only final/signal checkpoints
   bool resume = false;
@@ -147,6 +173,9 @@ struct Args {
   bool wal = false;
   /// Group-commit cadence: fsync after this many appended records.
   uint64_t wal_sync_every = 4096;
+  /// "async" (default) overlaps fdatasync with the next batch; "sync"
+  /// blocks the step path on every group commit.
+  std::string wal_sync_mode = "async";
   /// Checkpoint files kept by pruning (WAL retention follows).
   uint64_t keep_checkpoints = 2;
   /// Window buffer placement: "mem" (deque) or "disk" (segment store).
@@ -194,10 +223,12 @@ struct Args {
                "                   [--emit counts|deltas|final] [--every K] "
                "[--topk K] [--seed S]\n"
                "                   [--batch-size B] [--threads T]\n"
+               "                   [--shards N] [--shard-by grid|band]\n"
                "                   [--checkpoint-dir DIR [--checkpoint-every "
                "K] [--resume]]\n"
                "                   [--wal] [--wal-sync-every K] "
-               "[--keep-checkpoints N]\n"
+               "[--wal-sync-mode sync|async]\n"
+               "                   [--keep-checkpoints N]\n"
                "                   [--window-store mem|disk] [--store-dir "
                "DIR] [--segment-elems K]\n"
                "                   [--replay-at POS|ts:SECS]\n"
@@ -284,6 +315,13 @@ Args Parse(int argc, char** argv) {
       args.batch_size = static_cast<size_t>(ParseUint64Value(flag, need(i++)));
     } else if (flag == "--threads") {
       args.threads = ParseIntValue(flag, need(i++));
+    } else if (flag == "--shards") {
+      args.shards = ParseIntValue(flag, need(i++));
+    } else if (flag == "--shard-by") {
+      const char* v = need(i++);
+      if (!psky::ParseShardStrategy(v, &args.shard_by)) {
+        Usage("--shard-by must be grid or band");
+      }
     } else if (flag == "--checkpoint-dir") {
       args.checkpoint_dir = need(i++);
     } else if (flag == "--checkpoint-every") {
@@ -294,6 +332,8 @@ Args Parse(int argc, char** argv) {
       args.wal = true;
     } else if (flag == "--wal-sync-every") {
       args.wal_sync_every = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--wal-sync-mode") {
+      args.wal_sync_mode = need(i++);
     } else if (flag == "--keep-checkpoints") {
       args.keep_checkpoints = ParseUint64Value(flag, need(i++));
     } else if (flag == "--window-store") {
@@ -381,6 +421,26 @@ Args Parse(int argc, char** argv) {
   }
   if (args.batch_size == 0) Usage("--batch-size must be positive");
   if (args.threads == 0) args.threads = psky::ThreadPool::DefaultThreads();
+  if (args.shards < 1 || args.shards > 64) {
+    Usage("--shards must be in [1, 64]");
+  }
+  if (args.shards > 1) {
+    if (args.emit == "deltas") {
+      Usage("--emit deltas requires the sequential operator (--shards 1)");
+    }
+    if (args.window_store == "disk") {
+      Usage("--window-store disk requires --shards 1");
+    }
+    if (args.inject_drift_at != 0) {
+      Usage("--inject-drift-at requires --shards 1");
+    }
+    if (args.query_deadline_ms != 0) {
+      Usage("--query-deadline-ms requires --shards 1");
+    }
+  }
+  if (args.wal_sync_mode != "sync" && args.wal_sync_mode != "async") {
+    Usage("--wal-sync-mode must be sync or async");
+  }
   if ((args.resume || args.checkpoint_every > 0) &&
       args.checkpoint_dir.empty()) {
     Usage("--resume / --checkpoint-every require --checkpoint-dir");
@@ -854,10 +914,33 @@ int main(int argc, char** argv) {
   options.record_events = args.emit == "deltas";
   psky::SskyOperator op(args.dims, args.q, options);
 
+  // --shards > 1: the sharded engine replaces the sequential operator
+  // and the window objects below — it owns windowing (router-side) and
+  // runs one sky-tree per shard. Queries merge exactly (bit-equivalent
+  // window state, same skyline within summation rounding).
+  std::unique_ptr<psky::ShardEngine> engine;
   std::unique_ptr<psky::CountWindow> count_window;
   std::unique_ptr<psky::TimeWindow> time_window;
   std::unique_ptr<psky::StoredCountWindow> disk_window;
-  if (args.time_span > 0.0) {
+  if (args.shards > 1) {
+    psky::ShardEngine::Options eng;
+    eng.dims = args.dims;
+    eng.q = args.q;
+    eng.shards = args.shards;
+    eng.strategy = args.shard_by;
+    if (args.time_span > 0.0) {
+      eng.time_span = args.time_span;
+      eng.ooo_policy = args.ooo_policy;
+    } else {
+      eng.window_capacity = args.window;
+    }
+    // Per-shard auditing runs synchronously inside each shard worker
+    // (the engine rejects a thread pool), over the shard's own substream.
+    eng.audit.mode = args.audit_mode;
+    eng.audit.audit_every = args.audit_every;
+    eng.audit.oracle_every = args.audit_oracle_every;
+    engine = std::make_unique<psky::ShardEngine>(eng);
+  } else if (args.time_span > 0.0) {
     time_window =
         std::make_unique<psky::TimeWindow>(args.time_span, args.ooo_policy);
   } else if (args.window_store == "disk") {
@@ -885,24 +968,39 @@ int main(int argc, char** argv) {
     count_window = std::make_unique<psky::CountWindow>(args.window);
   }
   auto window_snapshot = [&]() {
-    return time_window != nullptr   ? time_window->Snapshot()
+    return engine != nullptr        ? engine->WindowSnapshot()
+           : time_window != nullptr ? time_window->Snapshot()
            : disk_window != nullptr ? disk_window->Snapshot()
                                     : count_window->Snapshot();
+  };
+  // Out-of-order rejections under --ooo-policy reject, whichever side
+  // owns the time-window watermark.
+  auto ooo_rejected = [&]() -> uint64_t {
+    if (time_window != nullptr) return time_window->rejected();
+    if (engine != nullptr) return engine->rejected();
+    return 0;
   };
 
   CarriedCounters carried;
   uint64_t step = 0;
   if (resumed) {
     // Deterministic replay: re-inserting the checkpointed window contents
-    // oldest-first rebuilds the exact candidate-set state.
-    psky::ReplayWindow(resume_state, &op);
-    for (const auto& e : resume_state.window) {
-      if (time_window != nullptr) {
-        time_window->Push(e, nullptr);
-      } else if (disk_window != nullptr) {
-        disk_window->Push(e);
-      } else {
-        count_window->Push(e);
+    // oldest-first rebuilds the exact candidate-set state. Checkpoints
+    // are shard-count-agnostic (the merged window snapshot is
+    // byte-identical to a sequential one), so a sequential checkpoint
+    // resumes into a sharded run and vice versa.
+    if (engine != nullptr) {
+      engine->Restore(resume_state.window);
+    } else {
+      psky::ReplayWindow(resume_state, &op);
+      for (const auto& e : resume_state.window) {
+        if (time_window != nullptr) {
+          time_window->Push(e, nullptr);
+        } else if (disk_window != nullptr) {
+          disk_window->Push(e);
+        } else {
+          count_window->Push(e);
+        }
       }
     }
     if (options.record_events) op.TakeSkylineDelta();  // replay is not news
@@ -921,7 +1019,12 @@ int main(int argc, char** argv) {
     std::vector<psky::UncertainElement> tail_expired;
     for (const psky::WalRecord& r : recovered.tail) {
       psky::UncertainElement e = r.element;
-      if (time_window != nullptr) {
+      if (engine != nullptr) {
+        // The WAL holds only admitted (post-clamp) elements, so the
+        // router cannot reject them.
+        PSKY_CHECK_MSG(engine->Route(e),
+                       "WAL replay: admitted element rejected");
+      } else if (time_window != nullptr) {
         tail_expired.clear();
         // The WAL holds only admitted elements with already-clamped
         // timestamps, so re-admission cannot fail.
@@ -935,7 +1038,7 @@ int main(int argc, char** argv) {
         if (count_window->full()) op.Expire(count_window->PushRotate(e));
         else count_window->Push(e);
       }
-      op.Insert(e);
+      if (engine == nullptr) op.Insert(e);
       step = r.step_after;
     }
     if (options.record_events) op.TakeSkylineDelta();  // replay is not news
@@ -975,24 +1078,20 @@ int main(int argc, char** argv) {
     psky::CheckpointState state;
     state.dims = args.dims;
     state.q = args.q;
-    if (time_window != nullptr) {
+    if (args.time_span > 0.0) {
       state.window_kind = psky::WindowKind::kTime;
       state.time_span = args.time_span;
-      state.window = time_window->Snapshot();
     } else {
       state.window_kind = psky::WindowKind::kCount;
       state.window_capacity = args.window;
-      state.window = disk_window != nullptr ? disk_window->Snapshot()
-                                            : count_window->Snapshot();
     }
+    state.window = window_snapshot();
     state.elements_consumed = step;
     state.lines_consumed = last.lines;
     state.next_seq = last.next_seq;
     state.bad_lines_skipped = carried.bad_lines_skipped + last.skipped;
     state.probs_clamped = carried.probs_clamped + last.clamped;
-    state.ooo_dropped =
-        carried.ooo_dropped +
-        (time_window != nullptr ? time_window->rejected() : 0);
+    state.ooo_dropped = carried.ooo_dropped + ooo_rejected();
     return state;
   };
 
@@ -1055,6 +1154,10 @@ int main(int argc, char** argv) {
         return 3;
       }
     }
+    // Overlapped group commit: the fdatasync runs on a background thread
+    // while the step path continues; checkpoints barrier below, so the
+    // durability contract is unchanged.
+    if (args.wal_sync_mode == "async") wal.SetAsyncSync(true);
   }
 
   // Stamps one admitted element into the WAL (before it reaches the
@@ -1071,8 +1174,7 @@ int main(int argc, char** argv) {
     r.lines_after = item.lines_after;
     r.skipped_total = carried.bad_lines_skipped + item.skipped_after;
     r.clamped_total = carried.probs_clamped + item.clamped_after;
-    r.ooo_total = carried.ooo_dropped +
-                  (time_window != nullptr ? time_window->rejected() : 0);
+    r.ooo_total = carried.ooo_dropped + ooo_rejected();
     std::string error;
     const bool appended = psky::RetryWithBackoff(
         io_policy,
@@ -1095,10 +1197,14 @@ int main(int argc, char** argv) {
       DumpQuarantine("WAL sync failed: " + error);
       return false;
     }
-    const auto sync_ms = static_cast<uint64_t>(
+    auto sync_ms = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - sync_start)
             .count());
+    // Overlapped mode: the enqueue above is cheap by design; feed the
+    // governor the latency of the last *completed* background fdatasync
+    // so disk pressure is still observed.
+    sync_ms = std::max(sync_ms, wal.TakeAsyncSyncLatencyMs());
     const bool strained = io_stats.retries > retries_before;
     if (wal_governor.ObserveSync(strained, sync_ms)) {
       std::fprintf(
@@ -1116,8 +1222,14 @@ int main(int argc, char** argv) {
     // records that the next resume then skips past.
     if (args.wal) {
       std::string error;
+      // Sync + SyncBarrier as one retried unit: in overlapped mode a
+      // failed background fdatasync surfaces at the barrier, and the
+      // retry waits on the fresh attempt ConsumeStickyError queued.
       if (!psky::RetryWithBackoff(
-              io_policy, [&](int* err) { return wal.Sync(&error, err); },
+              io_policy,
+              [&](int* err) {
+                return wal.Sync(&error, err) && wal.SyncBarrier(&error, err);
+              },
               &io_stats)) {
         std::fprintf(stderr, "error: WAL sync failed: %s\n", error.c_str());
         DumpQuarantine("WAL sync failed: " + error);
@@ -1176,7 +1288,10 @@ int main(int argc, char** argv) {
   }
 
   psky::AuditOptions audit_options;
-  audit_options.mode = args.audit_mode;
+  // Sharded runs audit per shard inside the engine; the sequential
+  // manager below stays off so it doesn't audit the unused operator.
+  audit_options.mode =
+      engine != nullptr ? psky::AuditMode::kOff : args.audit_mode;
   audit_options.audit_every = args.audit_every;
   audit_options.oracle_every = args.audit_oracle_every;
   audit_options.pool = pool.get();
@@ -1236,7 +1351,32 @@ int main(int argc, char** argv) {
       psky::fault::MaybeDelay(psky::fault::Site::kStep);
     }
     const psky::UncertainElement& element = item.element;
-    if (time_window != nullptr) {
+    if (engine != nullptr) {
+      psky::UncertainElement admitted;
+      if (!engine->Route(element, &admitted)) {
+        // Late timestamp under --ooo-policy reject (time windows only):
+        // same handling as the sequential TryPush rejection below.
+        if (args.on_bad_input == psky::BadInputPolicy::kFail) {
+          std::fprintf(
+              stderr,
+              "error: line %llu: out-of-order timestamp %g is behind "
+              "watermark %g (see --ooo-policy)\n",
+              static_cast<unsigned long long>(
+                  source.csv() != nullptr ? item.lines_after : step + 1),
+              element.time, engine->watermark());
+          return 2;
+        }
+        last.next_seq = item.next_seq_after;
+        last.lines = item.lines_after;
+        last.skipped = item.skipped_after;
+        last.clamped = item.clamped_after;
+        return -1;
+      }
+      // The insert command is already in flight when the WAL is stamped;
+      // that is safe because nothing is acknowledged until wal_log
+      // returns, and checkpoints barrier on the WAL before snapshotting.
+      if (args.wal && !wal_log(admitted, item, step + 1)) return 3;
+    } else if (time_window != nullptr) {
       expired.clear();
       psky::UncertainElement incoming = element;
       if (!time_window->TryPush(&incoming, &expired)) {
@@ -1325,9 +1465,20 @@ int main(int argc, char** argv) {
       }
     } else if (args.emit == "counts" && args.every > 0 &&
                step % args.every == 0) {
-      std::printf("step=%llu candidates=%zu skyline=%zu\n",
-                  static_cast<unsigned long long>(step), op.candidate_count(),
-                  op.skyline_count());
+      if (engine != nullptr) {
+        // Each report is a barrier + exact merge; |S*| equals the
+        // sequential candidate count, so the line diffs cleanly against
+        // a --shards 1 run.
+        size_t candidates = 0;
+        const auto members = engine->GlobalSkyline(&candidates);
+        std::printf("step=%llu candidates=%zu skyline=%zu\n",
+                    static_cast<unsigned long long>(step), candidates,
+                    members.size());
+      } else {
+        std::printf("step=%llu candidates=%zu skyline=%zu\n",
+                    static_cast<unsigned long long>(step),
+                    op.candidate_count(), op.skyline_count());
+      }
     }
 
     if (args.stats_interval > 0 && step % args.stats_interval == 0) {
@@ -1354,6 +1505,31 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(qs.shed_low_prob),
           static_cast<unsigned long long>(qs.shed_incoming), ladder.rung(),
           static_cast<unsigned long long>(audit.steps_since_last_audit()));
+      if (engine != nullptr) {
+        // Per-shard health: SPSC backlog, window imbalance (1.0 = even),
+        // merge-side counters. Readable without a barrier.
+        const psky::ShardEngine::Stats es = engine->GetStats();
+        size_t depth_max = 0;
+        uint64_t lag = 0;
+        uint64_t violations = 0;
+        for (const auto& s : es.shards) {
+          depth_max = std::max(depth_max, s.queue_depth);
+          lag += s.routed - s.applied;
+          violations += s.audit_violations;
+        }
+        std::fprintf(
+            stderr,
+            "shard-heartbeat shards=%zu depth-max=%zu lag=%llu "
+            "imbalance=%.2f merges=%llu merge-cands=%llu probes=%llu "
+            "cell-skips=%llu audit-violations=%llu\n",
+            es.shards.size(), depth_max,
+            static_cast<unsigned long long>(lag), es.imbalance,
+            static_cast<unsigned long long>(es.merges),
+            static_cast<unsigned long long>(es.merge_candidates),
+            static_cast<unsigned long long>(es.merge_probes),
+            static_cast<unsigned long long>(es.merge_cell_skips),
+            static_cast<unsigned long long>(violations));
+      }
     }
 
     const uint64_t ckpt_every =
@@ -1505,10 +1681,34 @@ int main(int argc, char** argv) {
     if (!write_checkpoint()) return 3;
   }
 
+  // One final merge per sharded run: feeds --emit final / --topk and the
+  // closing summary line (|S| = merged candidate count = the sequential
+  // operator's).
+  std::vector<psky::SkylineMember> merged_skyline;
+  size_t merged_candidates = 0;
+  if (engine != nullptr) {
+    merged_skyline = engine->GlobalSkyline(&merged_candidates);
+  }
+
   if (args.emit == "final" || args.topk > 0) {
     std::vector<psky::SkylineMember> members;
     bool complete = true;
-    if (args.query_deadline_ms > 0) {
+    if (engine != nullptr) {
+      members = merged_skyline;
+      if (args.topk > 0) {
+        // The merged skyline holds every member with psky >= q; the
+        // sequential top-k printer stops below q anyway, so sorting by
+        // psky (ties by arrival) and truncating matches its output.
+        std::sort(members.begin(), members.end(),
+                  [](const psky::SkylineMember& a,
+                     const psky::SkylineMember& b) {
+                    if (a.psky > b.psky) return true;
+                    if (a.psky < b.psky) return false;
+                    return a.element.seq < b.element.seq;
+                  });
+        if (members.size() > args.topk) members.resize(args.topk);
+      }
+    } else if (args.query_deadline_ms > 0) {
       const psky::QueryControl ctl = psky::QueryControl::WithDeadline(
           std::chrono::milliseconds(args.query_deadline_ms));
       complete = args.topk > 0
@@ -1537,12 +1737,25 @@ int main(int argc, char** argv) {
 
   const uint64_t skipped = carried.bad_lines_skipped + last.skipped;
   const uint64_t clamped = carried.probs_clamped + last.clamped;
-  const uint64_t ooo =
-      carried.ooo_dropped +
-      (time_window != nullptr ? time_window->rejected() : 0);
+  const uint64_t ooo = carried.ooo_dropped + ooo_rejected();
   std::fprintf(stderr, "processed %llu elements; |S|=%zu |SKY|=%zu\n",
-               static_cast<unsigned long long>(step), op.candidate_count(),
-               op.skyline_count());
+               static_cast<unsigned long long>(step),
+               engine != nullptr ? merged_candidates : op.candidate_count(),
+               engine != nullptr ? merged_skyline.size()
+                                 : op.skyline_count());
+  if (engine != nullptr) {
+    const psky::ShardEngine::Stats es = engine->GetStats();
+    std::fprintf(
+        stderr,
+        "shards: count=%zu imbalance=%.2f merges=%llu merge-cands=%llu "
+        "probes=%llu cell-skips=%llu barriers=%llu\n",
+        es.shards.size(), es.imbalance,
+        static_cast<unsigned long long>(es.merges),
+        static_cast<unsigned long long>(es.merge_candidates),
+        static_cast<unsigned long long>(es.merge_probes),
+        static_cast<unsigned long long>(es.merge_cell_skips),
+        static_cast<unsigned long long>(es.barriers));
+  }
   (void)resume_step;
   if (skipped > 0 || clamped > 0 || ooo > 0) {
     std::fprintf(stderr,
@@ -1558,13 +1771,15 @@ int main(int argc, char** argv) {
                  args.checkpoint_dir.c_str());
   }
   if (args.wal) {
-    wal.Close();  // syncs any post-checkpoint tail records
+    wal.Close();  // syncs (and barriers) any post-checkpoint tail records
     const psky::WalWriter::Stats& ws = wal.stats();
     std::fprintf(stderr,
-                 "wal: records=%llu syncs=%llu rotations=%llu "
-                 "group-commit=%llux%llu pressure-escalations=%llu\n",
+                 "wal: records=%llu syncs=%llu async-syncs=%llu "
+                 "rotations=%llu group-commit=%llux%llu "
+                 "pressure-escalations=%llu\n",
                  static_cast<unsigned long long>(ws.records_appended),
                  static_cast<unsigned long long>(ws.syncs),
+                 static_cast<unsigned long long>(ws.async_syncs),
                  static_cast<unsigned long long>(ws.rotations),
                  static_cast<unsigned long long>(wal_governor.multiplier()),
                  static_cast<unsigned long long>(args.wal_sync_every),
@@ -1608,7 +1823,13 @@ int main(int argc, char** argv) {
   }
   if (args.audit_mode != psky::AuditMode::kOff) {
     audit.Drain();  // harvest any in-flight asynchronous oracle verdict
-    const psky::AuditReport& r = audit.report();
+    psky::AuditReport merged_report;
+    if (engine != nullptr) {
+      engine->Barrier();  // shard audit state is read directly
+      merged_report = engine->AuditReportMerged();
+    }
+    const psky::AuditReport& r =
+        engine != nullptr ? merged_report : audit.report();
     std::fprintf(
         stderr,
         "audit: %llu audited, max drift %.3g, %llu beyond tolerance, "
