@@ -5,8 +5,11 @@
 // corr) using the batched stream path, and writes BENCH_hotpath.json:
 // sustained elements/second plus p50/p99 per-element step latency per
 // workload, stamped with the dominance-kernel variant the CPU dispatched
-// to. Shard rows (anti_s{1,2,4,8}, inde_s{1,2,4,8}) repeat the anti/inde
-// streams through the sharded ingestion engine and feed the
+// to. The inde_wal / inde_disk rows repeat the independent stream with
+// the write-ahead log and the mmap'd segment-store window respectively,
+// feeding the wal_overhead / disk_overhead keys. Shard rows
+// (anti_s{1,2,4,8}, inde_s{1,2,4,8}) repeat the anti/inde streams
+// through the sharded ingestion engine and feed the
 // shard_scaling_efficiency key. tools/bench_report.py validates the file
 // and diffs two of them with a regression gate; the repository tracks a
 // full-scale baseline at the root.
@@ -29,6 +32,7 @@
 #include "core/shard_engine.h"
 #include "core/ssky_operator.h"
 #include "geom/dominance_kernel.h"
+#include "store/segment_store.h"
 #include "store/wal.h"
 #include "stream/generator.h"
 
@@ -146,6 +150,82 @@ WorkloadResult RunWorkload(const char* name, SpatialDistribution spatial,
       static_cast<double>(scale.n) / result.total_seconds;
   result.p50_step_us = Percentile(&step_us, 0.50);
   result.p99_step_us = Percentile(&step_us, 0.99);
+  return result;
+}
+
+// Same independent workload with the raw window living in the mmap'd
+// segment store (psky_stream --window-store disk): steady-state rotation
+// is a fused PushRotate against the head/tail segments with the default
+// resident budget, so the row measures the out-of-core paging tax the
+// production disk mode pays. The inde vs inde_disk throughput gap is
+// reported as disk_overhead and gated by tools/bench_report.py.
+WorkloadResult RunDiskWorkload(const char* name, SpatialDistribution spatial,
+                               const Scale& scale) {
+  StreamConfig cfg;
+  cfg.dims = kDims;
+  cfg.spatial = spatial;
+  cfg.seed = 42;
+  StreamGenerator gen(cfg);
+
+  SskyOperator op(kDims, kQ);
+
+  const std::string store_dir = "bench-segstore-tmp";
+  std::filesystem::remove_all(store_dir);
+  std::filesystem::create_directories(store_dir);
+  WorkloadResult result;
+  result.name = name;
+  {
+    SegmentStore::Options sopts;
+    sopts.dir = store_dir;
+    sopts.dims = kDims;
+    StoredCountWindow window(scale.w, sopts);
+    std::string error;
+    if (!window.Init(&error)) {
+      std::fprintf(stderr, "error: bench segment store: %s\n", error.c_str());
+      std::exit(1);
+    }
+
+    std::vector<UncertainElement> batch;
+    batch.reserve(kBatch);
+    std::vector<double> step_us;
+    step_us.reserve(scale.n / kBatch + 1);
+
+    Timer total;
+    size_t fed = 0;
+    bool steady = false;
+    while (fed < scale.n) {
+      const size_t take = std::min(kBatch, scale.n - fed);
+      batch.clear();
+      for (size_t i = 0; i < take; ++i) batch.push_back(gen.Next());
+      if (!steady && fed >= scale.w) steady = true;
+      Timer t;
+      for (const auto& e : batch) {
+        if (window.full()) {
+          op.Expire(window.PushRotate(e));
+        } else {
+          window.Push(e);
+        }
+        op.Insert(e);
+      }
+      if (steady) {
+        step_us.push_back(t.ElapsedMicros() / static_cast<double>(take));
+      }
+      fed += take;
+      if (op.candidate_count() > result.max_candidates) {
+        result.max_candidates = op.candidate_count();
+      }
+      if (op.skyline_count() > result.max_skyline) {
+        result.max_skyline = op.skyline_count();
+      }
+    }
+    result.total_seconds = total.ElapsedSeconds();
+    result.elements_per_second =
+        static_cast<double>(scale.n) / result.total_seconds;
+    result.p50_step_us = Percentile(&step_us, 0.50);
+    result.p99_step_us = Percentile(&step_us, 0.99);
+  }
+  // The window's destructor (scope above) unlinked its segment files.
+  std::filesystem::remove_all(store_dir);
   return result;
 }
 
@@ -294,6 +374,16 @@ int main(int argc, char** argv) {
         r.p50_step_us, r.p99_step_us, r.max_candidates, r.max_skyline);
     results.push_back(std::move(r));
   }
+  {
+    WorkloadResult r = RunDiskWorkload(
+        "inde_disk", psky::SpatialDistribution::kIndependent, scale);
+    std::printf(
+        "%-8s %10.0f elem/s  total %7.3fs  p50 %7.3fus  p99 %7.3fus  "
+        "|S|max=%zu |SKY|max=%zu\n",
+        r.name.c_str(), r.elements_per_second, r.total_seconds,
+        r.p50_step_us, r.p99_step_us, r.max_candidates, r.max_skyline);
+    results.push_back(std::move(r));
+  }
   const size_t shard_n = std::min(scale.n, kShardRowMaxN);
   const size_t shard_w = std::min(scale.w, kShardRowMaxW);
   if (shard_n != scale.n || shard_w != scale.w) {
@@ -311,17 +401,23 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
-  double wal_overhead = 0.0;
-  for (const auto& r : results) {
-    if (r.name == "inde_wal") {
-      for (const auto& b : results) {
-        if (b.name == "inde" && b.elements_per_second > 0.0) {
-          wal_overhead = 1.0 - r.elements_per_second / b.elements_per_second;
+  const auto overhead_vs_inde = [&results](const char* name) {
+    double overhead = 0.0;
+    for (const auto& r : results) {
+      if (r.name == name) {
+        for (const auto& b : results) {
+          if (b.name == "inde" && b.elements_per_second > 0.0) {
+            overhead = 1.0 - r.elements_per_second / b.elements_per_second;
+          }
         }
       }
     }
-  }
+    return overhead;
+  };
+  const double wal_overhead = overhead_vs_inde("inde_wal");
+  const double disk_overhead = overhead_vs_inde("inde_disk");
   std::printf("wal overhead vs inde: %+.1f%%\n", wal_overhead * 100.0);
+  std::printf("disk overhead vs inde: %+.1f%%\n", disk_overhead * 100.0);
 
   // Parallel-scaling efficiency at the widest shard count:
   // eps(s8) / (8 * eps(s1)). 1.0 is perfect linear scaling; a 1-core
@@ -354,6 +450,7 @@ int main(int argc, char** argv) {
                 "  \"batch_size\": %zu,\n"
                 "  \"kernel_variant\": \"%s\",\n"
                 "  \"wal_overhead\": %.4f,\n"
+                "  \"disk_overhead\": %.4f,\n"
                 "  \"shard_n\": %zu,\n"
                 "  \"shard_window\": %zu,\n"
                 "  \"shard_scaling_efficiency\": {\n"
@@ -362,8 +459,8 @@ int main(int argc, char** argv) {
                 "  },\n"
                 "  \"workloads\": {\n",
                 scale.name, scale.n, scale.w, kDims, kQ, kBatch,
-                psky::DominanceKernelVariant(), wal_overhead, shard_n,
-                shard_w, eff_anti, eff_inde);
+                psky::DominanceKernelVariant(), wal_overhead, disk_overhead,
+                shard_n, shard_w, eff_anti, eff_inde);
   json += buf;
   for (size_t i = 0; i < results.size(); ++i) {
     AppendWorkloadJson(&json, results[i], i + 1 == results.size());

@@ -35,6 +35,13 @@ AuditManager::AuditManager(SskyOperator* op, AuditOptions options,
       window_(std::move(window)),
       q_log_(std::log(op->threshold())) {}
 
+AuditManager::AuditManager(SskyOperator* op, AuditOptions options,
+                           WindowStream window)
+    : op_(op),
+      options_(options),
+      stream_(std::move(window)),
+      q_log_(std::log(op->threshold())) {}
+
 AuditManager::~AuditManager() {
   // Wait for the worker so it is not left running against freed inputs;
   // the verdict is discarded (callers that care ran Drain() already).
@@ -44,8 +51,6 @@ AuditManager::~AuditManager() {
 bool AuditManager::AuditOne(const std::vector<UncertainElement>& window,
                             size_t idx) {
   const UncertainElement& e = window[idx];
-  ++report_.elements_audited;
-
   // Exact P_new from first principles: every dominator that arrived after
   // `e` is still in the window (windows expire oldest-first), so the sum
   // over newer window dominators *is* the true accumulated P_new — no lazy
@@ -56,7 +61,35 @@ bool AuditManager::AuditOne(const std::vector<UncertainElement>& window,
       exact_pnew += LogOneMinusProb(ClampProb(window[j].prob));
     }
   }
+  return AuditOneExact(e, exact_pnew);
+}
 
+void AuditManager::AuditBatchStreamed(
+    const std::vector<std::pair<uint64_t, UncertainElement>>& targets) {
+  if (targets.empty()) return;
+  // One oldest→newest scan accumulates every target's window-exact P_new
+  // (elements newer than the target that dominate it), so a slice of k
+  // elements costs one pass over the window, not k.
+  std::vector<double> exact_pnew(targets.size(), 0.0);
+  uint64_t j = 0;
+  stream_.scan([&](const UncertainElement& w) {
+    for (size_t t = 0; t < targets.size(); ++t) {
+      if (j > targets[t].first && Dominates(w.pos, targets[t].second.pos)) {
+        exact_pnew[t] += LogOneMinusProb(ClampProb(w.prob));
+      }
+    }
+    ++j;
+  });
+  // P_new is a function of raw window contents only, so repairs applied
+  // while draining the batch cannot invalidate the accumulated sums.
+  for (size_t t = 0; t < targets.size(); ++t) {
+    AuditOneExact(targets[t].second, exact_pnew[t]);
+  }
+}
+
+bool AuditManager::AuditOneExact(const UncertainElement& e,
+                                 double exact_pnew) {
+  ++report_.elements_audited;
   const SkyTree* tree = &op_->tree();
   const SkyTree::AuditView view = tree->LookupForAudit(e.pos, e.seq);
   if (!view.found) {
@@ -105,6 +138,19 @@ bool AuditManager::AuditOne(const std::vector<UncertainElement>& window,
 }
 
 void AuditManager::RunSliceAudit() {
+  if (streamed()) {
+    const uint64_t n = stream_.size();
+    if (n == 0) return;
+    std::vector<std::pair<uint64_t, UncertainElement>> targets;
+    targets.reserve(static_cast<size_t>(options_.elements_per_audit));
+    for (int k = 0; k < options_.elements_per_audit; ++k) {
+      const uint64_t idx = cursor_ % n;
+      targets.emplace_back(idx, stream_.at(idx));
+      ++cursor_;
+    }
+    AuditBatchStreamed(targets);
+    return;
+  }
   const std::vector<UncertainElement> window = window_();
   if (window.empty()) return;
   for (int k = 0; k < options_.elements_per_audit; ++k) {
@@ -114,18 +160,38 @@ void AuditManager::RunSliceAudit() {
 }
 
 uint64_t AuditManager::AuditAll() {
-  const std::vector<UncertainElement> window = window_();
   const uint64_t before = report_.violations_unrepaired;
+  if (streamed()) {
+    // Batched full sweep: bounded target memory per scan regardless of
+    // window size.
+    constexpr uint64_t kBatch = 256;
+    const uint64_t n = stream_.size();
+    std::vector<std::pair<uint64_t, UncertainElement>> targets;
+    for (uint64_t start = 0; start < n; start += kBatch) {
+      const uint64_t stop = std::min(start + kBatch, n);
+      targets.clear();
+      for (uint64_t idx = start; idx < stop; ++idx) {
+        targets.emplace_back(idx, stream_.at(idx));
+      }
+      AuditBatchStreamed(targets);
+    }
+    return report_.violations_unrepaired - before;
+  }
+  const std::vector<UncertainElement> window = window_();
   for (size_t idx = 0; idx < window.size(); ++idx) AuditOne(window, idx);
   return report_.violations_unrepaired - before;
 }
 
 bool AuditManager::RunOracleCheck() {
   ++report_.oracle_replays;
-  const std::vector<UncertainElement> window = window_();
   auto replay = [&]() {
     NaiveSkylineOperator oracle(op_->dims(), op_->threshold());
-    for (const UncertainElement& e : window) oracle.Insert(e);
+    if (streamed()) {
+      stream_.scan(
+          [&](const UncertainElement& e) { oracle.Insert(e); });
+    } else {
+      for (const UncertainElement& e : window_()) oracle.Insert(e);
+    }
     return SkylineSeqs(oracle.Skyline());
   };
   const std::vector<uint64_t> want = replay();
@@ -187,7 +253,9 @@ bool AuditManager::Step() {
   }
   if (!suspend_oracle_ && options_.oracle_every > 0 &&
       report_.steps_seen % options_.oracle_every == 0) {
-    if (options_.pool != nullptr) {
+    // Streamed windows replay synchronously: the scan faults segments in
+    // and out of the live store, which a worker thread cannot share.
+    if (options_.pool != nullptr && !streamed()) {
       HarvestOracle();
       LaunchOracleAsync();
     } else {

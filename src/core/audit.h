@@ -50,6 +50,7 @@
 #include <future>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/thread_pool.h"
@@ -125,8 +126,28 @@ class AuditManager {
  public:
   using WindowSnapshotFn = std::function<std::vector<UncertainElement>()>;
 
+  /// Streaming window access for out-of-core windows (SegmentStore):
+  /// the window is visited in place, one segment mapped at a time,
+  /// instead of snapshotted into an O(N) vector. Slice audits batch
+  /// their targets so one oldest→newest scan serves the whole slice.
+  struct WindowStream {
+    /// Current window size.
+    std::function<uint64_t()> size;
+    /// Element `i` from the oldest (segment-cached random access).
+    std::function<UncertainElement(uint64_t)> at;
+    /// Visits every element oldest-first.
+    std::function<void(const std::function<void(const UncertainElement&)>&)>
+        scan;
+  };
+
   AuditManager(SskyOperator* op, AuditOptions options,
                WindowSnapshotFn window);
+
+  /// Streaming variant. Shadow-oracle replays always run synchronously
+  /// on the pipeline thread in this mode (the scan faults segments in
+  /// and out of the live store, which is not thread-safe), so
+  /// `options.pool` is ignored.
+  AuditManager(SskyOperator* op, AuditOptions options, WindowStream window);
 
   /// Blocks on any in-flight asynchronous oracle replay (without counting
   /// its verdict — a destroyed auditor reports what it has harvested).
@@ -181,9 +202,17 @@ class AuditManager {
     std::future<std::vector<uint64_t>> want;
   };
 
+  bool streamed() const { return static_cast<bool>(stream_.size); }
   // Audits window[idx]; window is oldest-first. Returns false on an
   // unrepaired violation.
   bool AuditOne(const std::vector<UncertainElement>& window, size_t idx);
+  // Shared exact-state check given `e`'s window-exact P_new; all the
+  // tree lookups, drift accounting, and repairs live here.
+  bool AuditOneExact(const UncertainElement& e, double exact_pnew);
+  // Streamed-mode audit of `targets` ({window index, element} pairs):
+  // one oldest→newest scan accumulates every target's exact P_new.
+  void AuditBatchStreamed(
+      const std::vector<std::pair<uint64_t, UncertainElement>>& targets);
   void RunSliceAudit();
   // Snapshots window + reported skyline and queues the replay on pool.
   void LaunchOracleAsync();
@@ -194,7 +223,8 @@ class AuditManager {
 
   SskyOperator* op_;
   AuditOptions options_;
-  WindowSnapshotFn window_;
+  WindowSnapshotFn window_;  ///< snapshot access; empty in streamed mode
+  WindowStream stream_;      ///< streaming access; empty in snapshot mode
   AuditReport report_;
   uint64_t cursor_ = 0;  // rotating position into the window
   double q_log_;

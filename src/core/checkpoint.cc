@@ -63,13 +63,12 @@ bool FailIo(std::string* error, int* out_errno, int err,
   return Fail(error, msg);
 }
 
-}  // namespace
-
-void SetCheckpointCrashHook(CheckpointCrashHook hook) { g_crash_hook = hook; }
-
-std::string EncodeCheckpoint(const CheckpointState& state) {
+// Fixed-field payload prefix shared by EncodeCheckpoint and the
+// streaming writer, so both produce identical bytes for the same
+// logical state. `window_count` is the element count that follows.
+std::string EncodePayloadPrefix(const CheckpointState& state,
+                                uint64_t window_count) {
   std::string payload;
-  payload.reserve(160 + state.window.size() * (24 + 8 * state.dims));
   // The stamp identifies the *writer*: an explicitly pre-set producer (a
   // re-encoded foreign snapshot) is preserved, otherwise this binary's.
   AppendString(&payload,
@@ -85,12 +84,27 @@ std::string EncodeCheckpoint(const CheckpointState& state) {
   AppendU64(&payload, state.bad_lines_skipped);
   AppendU64(&payload, state.probs_clamped);
   AppendU64(&payload, state.ooo_dropped);
-  AppendU64(&payload, state.window.size());
+  AppendU64(&payload, window_count);
+  return payload;
+}
+
+void AppendElement(std::string* payload, const UncertainElement& e, int dims) {
+  AppendU64(payload, e.seq);
+  AppendF64(payload, e.prob);
+  AppendF64(payload, e.time);
+  for (int i = 0; i < dims; ++i) AppendF64(payload, e.pos[i]);
+}
+
+}  // namespace
+
+void SetCheckpointCrashHook(CheckpointCrashHook hook) { g_crash_hook = hook; }
+
+std::string EncodeCheckpoint(const CheckpointState& state) {
+  std::string payload = EncodePayloadPrefix(state, state.window.size());
+  payload.reserve(payload.size() + state.window.size() *
+                                       (24 + 8 * static_cast<size_t>(state.dims)));
   for (const UncertainElement& e : state.window) {
-    AppendU64(&payload, e.seq);
-    AppendF64(&payload, e.prob);
-    AppendF64(&payload, e.time);
-    for (int i = 0; i < state.dims; ++i) AppendF64(&payload, e.pos[i]);
+    AppendElement(&payload, e, state.dims);
   }
 
   std::string out;
@@ -297,6 +311,295 @@ bool WriteCheckpointFileRetry(const std::string& path,
       stats);
   if (!ok && error != nullptr) *error = last_error;
   return ok;
+}
+
+bool WriteCheckpointFileStreamed(const std::string& path,
+                                 const CheckpointState& state,
+                                 uint64_t window_count,
+                                 const CheckpointElementSource& source,
+                                 std::string* error, int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  RemoveStaleCheckpointTemps(parent.empty() ? "." : parent);
+  const std::string tmp = path + ".tmp";
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointOpen)) {
+      return FailIo(error, out_errno, inj,
+                    "cannot open " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return FailIo(error, out_errno, errno,
+                  "cannot open " + tmp + ": " + ErrnoString());
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointWrite)) {
+      std::fclose(f);
+      return FailIo(error, out_errno, inj,
+                    "cannot write " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
+  }
+  auto fail_write = [&]() {
+    const int err = errno != 0 ? errno : EIO;
+    std::fclose(f);
+    return FailIo(error, out_errno, err, "short write to " + tmp);
+  };
+  // Placeholder header: the payload CRC and size are only known once the
+  // payload has streamed past the incremental checksum, so they are
+  // back-patched before the fsync. The rename-into-place discipline means
+  // no reader ever sees the placeholder.
+  std::string header;
+  header.append(kMagic, sizeof kMagic);
+  AppendU32(&header, kVersion);
+  AppendU32(&header, 0);
+  AppendU64(&header, 0);
+  errno = 0;
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    return fail_write();
+  }
+  uint32_t crc = 0;
+  uint64_t payload_size = 0;
+  std::string chunk = EncodePayloadPrefix(state, window_count);
+  auto flush_chunk = [&]() {
+    crc = Crc32(chunk.data(), chunk.size(), crc);
+    payload_size += chunk.size();
+    errno = 0;
+    const bool ok =
+        std::fwrite(chunk.data(), 1, chunk.size(), f) == chunk.size();
+    chunk.clear();
+    return ok;
+  };
+  if (!flush_chunk()) return fail_write();
+  if (!SurvivesCrashPoint(CheckpointCrashPoint::kMidPayload)) {
+    std::fclose(f);
+    return Fail(error, "simulated crash mid-checkpoint-write");
+  }
+  // One chunk of elements in memory at a time — never the window.
+  constexpr size_t kChunkBytes = 1 << 18;
+  UncertainElement e;
+  for (uint64_t i = 0; i < window_count; ++i) {
+    if (!source(&e)) {
+      std::fclose(f);
+      return Fail(error, "checkpoint element source ended early at " +
+                             std::to_string(i) + " of " +
+                             std::to_string(window_count));
+    }
+    AppendElement(&chunk, e, state.dims);
+    if (chunk.size() >= kChunkBytes && !flush_chunk()) return fail_write();
+  }
+  if (!chunk.empty() && !flush_chunk()) return fail_write();
+  std::string patched;
+  patched.append(kMagic, sizeof kMagic);
+  AppendU32(&patched, kVersion);
+  AppendU32(&patched, crc);
+  AppendU64(&patched, payload_size);
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    return FailIo(error, out_errno, err,
+                  "cannot seek in " + tmp + ": " + ErrnoString(err));
+  }
+  errno = 0;
+  if (std::fwrite(patched.data(), 1, patched.size(), f) != patched.size()) {
+    return fail_write();
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointFsync)) {
+      std::fclose(f);
+      return FailIo(error, out_errno, inj,
+                    "cannot flush " + tmp + ": " + ErrnoString(inj) +
+                        " (injected)");
+    }
+  }
+  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    return FailIo(error, out_errno, err,
+                  "cannot flush " + tmp + ": " + ErrnoString(err));
+  }
+  std::fclose(f);
+  if (!SurvivesCrashPoint(CheckpointCrashPoint::kBeforeRename)) {
+    return Fail(error, "simulated crash before checkpoint rename");
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kCheckpointRename)) {
+      return FailIo(error, out_errno, inj,
+                    "cannot rename " + tmp + " to " + path + ": " +
+                        ErrnoString(inj) + " (injected)");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return FailIo(error, out_errno, errno,
+                  "cannot rename " + tmp + " to " + path + ": " +
+                      ErrnoString());
+  }
+  return true;
+}
+
+bool WriteCheckpointFileStreamedRetry(
+    const std::string& path, const CheckpointState& state,
+    uint64_t window_count,
+    const std::function<CheckpointElementSource()>& source_factory,
+    const RetryPolicy& policy, RetryStats* stats, std::string* error) {
+  std::string last_error;
+  const bool ok = RetryWithBackoff(
+      policy,
+      [&](int* err) {
+        // A fresh source per attempt: a cursor consumed by a failed
+        // attempt cannot be rewound.
+        return WriteCheckpointFileStreamed(path, state, window_count,
+                                           source_factory(), &last_error, err);
+      },
+      stats);
+  if (!ok && error != nullptr) *error = last_error;
+  return ok;
+}
+
+bool ReadCheckpointFileStreamed(const std::string& path, CheckpointState* out,
+                                const CheckpointElementSink& sink,
+                                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open " + path + ": " + ErrnoString());
+  }
+  auto fail_close = [&](const std::string& msg) {
+    std::fclose(f);
+    return Fail(error, path + ": " + msg);
+  };
+  char header[kHeaderSize];
+  const size_t header_got = std::fread(header, 1, sizeof header, f);
+  if (header_got < kHeaderSize) {
+    return fail_close("checkpoint truncated: " + std::to_string(header_got) +
+                      " bytes, header needs " + std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    return fail_close("bad checkpoint magic (not a checkpoint file?)");
+  }
+  Cursor hc(std::string_view(header + sizeof kMagic,
+                             kHeaderSize - sizeof kMagic));
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  hc.ReadU32(&version);
+  hc.ReadU32(&crc);
+  hc.ReadU64(&payload_size);
+  if (version != kVersion) {
+    return fail_close("unsupported checkpoint version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(kVersion) + ")");
+  }
+  // Pass 1: checksum the payload without retaining it, so corruption is
+  // detected before any element reaches the sink.
+  uint32_t actual_crc = 0;
+  uint64_t actual_size = 0;
+  {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      actual_crc = Crc32(buf, n, actual_crc);
+      actual_size += n;
+    }
+    if (std::ferror(f) != 0) return fail_close("cannot read payload");
+  }
+  if (actual_size != payload_size) {
+    return fail_close("checkpoint payload size mismatch: header says " +
+                      std::to_string(payload_size) + ", file has " +
+                      std::to_string(actual_size));
+  }
+  if (actual_crc != crc) {
+    return fail_close("checkpoint CRC mismatch (corrupted payload)");
+  }
+  // Pass 2: decode. The fixed fields fit a small buffer (the producer
+  // stamp is capped at kMaxProducerBytes); elements stream in batches.
+  if (std::fseek(f, static_cast<long>(kHeaderSize), SEEK_SET) != 0) {
+    return fail_close("cannot seek to payload");
+  }
+  std::string fixed(static_cast<size_t>(std::min<uint64_t>(
+                        payload_size, kMaxProducerBytes + 256)),
+                    '\0');
+  if (std::fread(fixed.data(), 1, fixed.size(), f) != fixed.size()) {
+    return fail_close("cannot read payload");
+  }
+  CheckpointState state;
+  Cursor c(fixed);
+  uint32_t dims = 0;
+  uint8_t kind = 0;
+  uint64_t count = 0;
+  if (!c.ReadString(&state.producer, kMaxProducerBytes)) {
+    return fail_close("checkpoint build-info stamp truncated or oversized");
+  }
+  if (!c.ReadU32(&dims) || !c.ReadF64(&state.q) || !c.ReadU8(&kind) ||
+      !c.ReadU64(&state.window_capacity) || !c.ReadF64(&state.time_span) ||
+      !c.ReadU64(&state.elements_consumed) ||
+      !c.ReadU64(&state.lines_consumed) || !c.ReadU64(&state.next_seq) ||
+      !c.ReadU64(&state.bad_lines_skipped) ||
+      !c.ReadU64(&state.probs_clamped) || !c.ReadU64(&state.ooo_dropped) ||
+      !c.ReadU64(&count)) {
+    return fail_close("checkpoint payload truncated in fixed fields");
+  }
+  if (dims < 1 || dims > static_cast<uint32_t>(kMaxDims)) {
+    return fail_close("checkpoint dims out of range: " + std::to_string(dims));
+  }
+  state.dims = static_cast<int>(dims);
+  if (!(state.q > 0.0) || !(state.q <= 1.0) || !std::isfinite(state.q)) {
+    return fail_close("checkpoint q out of range");
+  }
+  if (kind > static_cast<uint8_t>(WindowKind::kTime)) {
+    return fail_close("checkpoint window kind unknown: " +
+                      std::to_string(kind));
+  }
+  state.window_kind = static_cast<WindowKind>(kind);
+  const size_t consumed = fixed.size() - c.remaining();
+  const uint64_t elem_section = payload_size - consumed;
+  const uint64_t elem_bytes = 24 + 8 * static_cast<uint64_t>(state.dims);
+  // Same division-first overflow guard as DecodeCheckpoint.
+  if (count > elem_section / elem_bytes ||
+      elem_section != count * elem_bytes) {
+    return fail_close("checkpoint element section size mismatch: " +
+                      std::to_string(count) + " elements need " +
+                      std::to_string(count * elem_bytes) + " bytes, " +
+                      std::to_string(elem_section) + " present");
+  }
+  if (std::fseek(f, static_cast<long>(kHeaderSize + consumed), SEEK_SET) !=
+      0) {
+    return fail_close("cannot seek to element section");
+  }
+  constexpr uint64_t kBatchElements = 4096;
+  std::string buf;
+  uint64_t i = 0;
+  while (i < count) {
+    const uint64_t take = std::min(kBatchElements, count - i);
+    buf.resize(static_cast<size_t>(take * elem_bytes));
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      return fail_close("cannot read payload");
+    }
+    Cursor ec(buf);
+    for (uint64_t k = 0; k < take; ++k, ++i) {
+      UncertainElement e;
+      e.pos = Point(state.dims);
+      ec.ReadU64(&e.seq);
+      ec.ReadF64(&e.prob);
+      ec.ReadF64(&e.time);
+      for (int d = 0; d < state.dims; ++d) ec.ReadF64(&e.pos[d]);
+      if (!std::isfinite(e.prob) || e.prob <= 0.0 || e.prob > 1.0) {
+        return fail_close("checkpoint element " + std::to_string(i) +
+                          " has invalid probability");
+      }
+      for (int d = 0; d < state.dims; ++d) {
+        if (!std::isfinite(e.pos[d])) {
+          return fail_close("checkpoint element " + std::to_string(i) +
+                            " has non-finite coordinate");
+        }
+      }
+      sink(e);
+    }
+  }
+  std::fclose(f);
+  *out = std::move(state);
+  return true;
 }
 
 bool ReadCheckpointFile(const std::string& path, CheckpointState* out,

@@ -30,6 +30,7 @@
 #define PSKY_CORE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,6 +109,52 @@ bool WriteCheckpointFileRetry(const std::string& path,
                               const CheckpointState& state,
                               const RetryPolicy& policy, RetryStats* stats,
                               std::string* error);
+
+// --- streaming variants (out-of-core windows) ----------------------------
+//
+// A 100M-element disk window must never be materialized just to
+// checkpoint it: the streaming writer pulls elements one at a time (e.g.
+// from a SegmentStore::Cursor) and the streaming reader pushes them one
+// at a time (e.g. straight into a StoredCountWindow + operator), so
+// encode/decode hold at most one I/O chunk of elements in memory. The
+// bytes produced are identical to WriteCheckpointFile for the same
+// logical state — the CRC header is back-patched after the payload has
+// streamed through an incremental CRC-32.
+
+/// Pull-source of window elements, oldest first. Must yield exactly the
+/// element count promised to the writer; returning false early fails the
+/// write.
+using CheckpointElementSource = std::function<bool(UncertainElement*)>;
+
+/// Receives decoded window elements oldest-first during streaming reads.
+using CheckpointElementSink = std::function<void(const UncertainElement&)>;
+
+/// As the errno-reporting WriteCheckpointFile, but the window contents
+/// come from `source` (`window_count` elements) and `state.window` is
+/// ignored. Honors the same fault-injection sites and crash hooks.
+bool WriteCheckpointFileStreamed(const std::string& path,
+                                 const CheckpointState& state,
+                                 uint64_t window_count,
+                                 const CheckpointElementSource& source,
+                                 std::string* error, int* out_errno);
+
+/// Retrying wrapper mirroring WriteCheckpointFileRetry. Each attempt
+/// consumes a fresh source from `source_factory` (a cursor cannot be
+/// rewound mid-stream).
+bool WriteCheckpointFileStreamedRetry(
+    const std::string& path, const CheckpointState& state,
+    uint64_t window_count,
+    const std::function<CheckpointElementSource()>& source_factory,
+    const RetryPolicy& policy, RetryStats* stats, std::string* error);
+
+/// Reads and validates a checkpoint file without materializing its
+/// window: configuration and counters land in `*out` (with `out->window`
+/// left empty) and each window element is delivered to `sink` oldest
+/// first. Validation is two-pass — the payload CRC is verified before
+/// any element reaches the sink, so a corrupt file delivers nothing.
+bool ReadCheckpointFileStreamed(const std::string& path, CheckpointState* out,
+                                const CheckpointElementSink& sink,
+                                std::string* error);
 
 /// Reads and validates a checkpoint file. Returns false with `*error` on
 /// I/O failure or any corruption.

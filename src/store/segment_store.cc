@@ -83,6 +83,72 @@ bool SegmentStore::Init(std::string* error) {
   return true;
 }
 
+void SegmentStore::UnmapSegment(Segment* seg) const {
+  if (seg->map == nullptr) return;
+  ::munmap(seg->map, SegmentBytes());
+  seg->map = nullptr;
+  seg->lru = 0;
+  --stats_.segments_resident;
+}
+
+void SegmentStore::EnforceResidentBudget(size_t protect_index) const {
+  if (opts_.resident_budget == 0) return;
+  const uint64_t budget = static_cast<uint64_t>(
+      opts_.resident_budget < kMinResidentBudget ? kMinResidentBudget
+                                                 : opts_.resident_budget);
+  while (stats_.segments_resident > budget) {
+    // Evict the least-recently-used mapped segment. The head, the
+    // readahead frontier, the write tail, and the caller's segment are
+    // pinned: evicting any of them would immediately thrash.
+    size_t victim = segments_.size();
+    uint64_t victim_lru = 0;
+    const size_t last = segments_.size() - 1;
+    for (size_t i = 2; i < segments_.size(); ++i) {
+      const Segment& seg = segments_[i];
+      if (i == last || i == protect_index || seg.map == nullptr) continue;
+      if (victim == segments_.size() || seg.lru < victim_lru) {
+        victim = i;
+        victim_lru = seg.lru;
+      }
+    }
+    if (victim == segments_.size()) return;  // only pinned segments mapped
+    UnmapSegment(&segments_[victim]);
+    ++stats_.recycle_pressure;
+  }
+}
+
+bool SegmentStore::EnsureMapped(size_t seg_index, std::string* error) const {
+  Segment& seg = segments_[seg_index];
+  if (seg.map != nullptr) {
+    seg.lru = ++lru_tick_;
+    return true;
+  }
+  if (fault::Enabled()) {
+    if (const int inj = fault::FailErrno(fault::Site::kSegmentMap)) {
+      return Fail(error, "cannot map segment in " + opts_.dir + ": " +
+                             ErrnoString(inj) + " (injected)");
+    }
+  }
+  // The file was created and sized by MapTailSegment; MAP_SHARED means
+  // the pages we dropped on eviction are still in the page cache / file.
+  const int fd = ::open(seg.path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Fail(error, "cannot open " + seg.path + ": " + ErrnoString(errno));
+  }
+  void* map = ::mmap(nullptr, SegmentBytes(), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return Fail(error, "cannot map " + seg.path + ": " + ErrnoString(errno));
+  }
+  ::madvise(map, SegmentBytes(), MADV_SEQUENTIAL);
+  seg.map = static_cast<char*>(map);
+  seg.lru = ++lru_tick_;
+  ++stats_.segments_resident;
+  EnforceResidentBudget(seg_index);
+  return true;
+}
+
 bool SegmentStore::MapTailSegment(std::string* error) {
   if (fault::Enabled()) {
     if (const int inj = fault::FailErrno(fault::Site::kSegmentMap)) {
@@ -121,15 +187,25 @@ bool SegmentStore::MapTailSegment(std::string* error) {
   if (map == MAP_FAILED) {
     return Fail(error, "cannot map " + seg.path + ": " + ErrnoString(errno));
   }
+  ::madvise(map, SegmentBytes(), MADV_SEQUENTIAL);
   seg.map = static_cast<char*>(map);
+  seg.lru = ++lru_tick_;
   segments_.push_back(seg);
   tail_count_ = 0;
+  ++stats_.segments_resident;
   if (recycled) {
     ++stats_.segments_recycled;
   } else {
     ++stats_.segments_created;
   }
   stats_.segments_live = segments_.size();
+  // Write-behind: the previous tail is now fully written and will not be
+  // touched again until it reaches the expiry frontier — drop it from
+  // RSS unless it *is* the frontier (head or readahead successor).
+  if (segments_.size() >= 4) {
+    UnmapSegment(&segments_[segments_.size() - 2]);
+  }
+  EnforceResidentBudget(segments_.size() - 1);
   return true;
 }
 
@@ -142,10 +218,33 @@ bool SegmentStore::RecycleFrontSegment(std::string* error) {
   }
   Segment seg = segments_.front();
   segments_.pop_front();
-  ::munmap(seg.map, SegmentBytes());
+  if (seg.map != nullptr) {
+    ::munmap(seg.map, SegmentBytes());
+    --stats_.segments_resident;
+  }
   free_files_.push_back(seg.path);
   head_offset_ = 0;
   stats_.segments_live = segments_.size();
+  if (!segments_.empty()) {
+    // Readahead accounting: the new expiry frontier should already be
+    // mapped by the prefetch below from the previous recycle.
+    if (segments_.front().map != nullptr) {
+      ++stats_.readahead_hits;
+      segments_.front().lru = ++lru_tick_;
+    } else {
+      ++stats_.readahead_misses;
+      std::string ignored;  // best effort; PopFront surfaces real failures
+      EnsureMapped(0, &ignored);
+    }
+    // Prefetch the next frontier so the following recycle is a hit and
+    // the kernel starts paging it in now (MADV_WILLNEED).
+    if (segments_.size() >= 2) {
+      std::string ignored;
+      if (EnsureMapped(1, &ignored)) {
+        ::madvise(segments_[1].map, SegmentBytes(), MADV_WILLNEED);
+      }
+    }
+  }
   return true;
 }
 
@@ -154,12 +253,27 @@ void SegmentStore::UnmapAll() {
     if (seg.map != nullptr) ::munmap(seg.map, SegmentBytes());
     seg.map = nullptr;
   }
+  stats_.segments_resident = 0;
+}
+
+void SegmentStore::ReadSlot(const char* slot, UncertainElement* e) const {
+  e->pos = Point(opts_.dims);
+  std::memcpy(&e->seq, slot, 8);
+  std::memcpy(&e->prob, slot + 8, 8);
+  std::memcpy(&e->time, slot + 16, 8);
+  for (int d = 0; d < opts_.dims; ++d) {
+    std::memcpy(&e->pos[d], slot + 24 + 8 * static_cast<size_t>(d), 8);
+  }
 }
 
 bool SegmentStore::PushBack(const UncertainElement& e, std::string* error) {
   PSKY_CHECK(e.pos.dims() == opts_.dims);
   if (segments_.empty() || tail_count_ == opts_.elements_per_segment) {
     if (!MapTailSegment(error)) return false;
+  } else if (segments_.back().map == nullptr) {
+    // The tail can only go cold through SetResidentBudget edge cases;
+    // fault in before writing.
+    if (!EnsureMapped(segments_.size() - 1, error)) return false;
   }
   char* slot = segments_.back().map + tail_count_ * SlotBytes();
   std::memcpy(slot, &e.seq, 8);
@@ -173,9 +287,14 @@ bool SegmentStore::PushBack(const UncertainElement& e, std::string* error) {
 
 bool SegmentStore::PopFront(UncertainElement* out, std::string* error) {
   PSKY_CHECK(size_ > 0);
-  *out = At(0);
+  if (!EnsureMapped(0, error)) return false;
+  // Direct head read: the expiry frontier advances one slot per pop, so
+  // steady-state rotation walks each mapped page exactly once.
+  const char* slot = segments_.front().map + head_offset_ * SlotBytes();
+  ReadSlot(slot, out);
   ++head_offset_;
   --size_;
+  ++total_popped_;
   const bool front_is_tail = segments_.size() == 1;
   const size_t front_used = front_is_tail ? tail_count_
                                           : opts_.elements_per_segment;
@@ -185,6 +304,7 @@ bool SegmentStore::PopFront(UncertainElement* out, std::string* error) {
       // problem. The drained segment stays mapped and retries next pop.
       ++size_;
       --head_offset_;
+      --total_popped_;
       *out = UncertainElement{};
       return false;
     }
@@ -201,15 +321,11 @@ UncertainElement SegmentStore::At(size_t i) const {
   const size_t flat = head_offset_ + i;
   const size_t seg_index = flat / opts_.elements_per_segment;
   const size_t slot_index = flat % opts_.elements_per_segment;
+  std::string error;
+  PSKY_CHECK_MSG(EnsureMapped(seg_index, &error), error.c_str());
   const char* slot = segments_[seg_index].map + slot_index * SlotBytes();
   UncertainElement e;
-  e.pos = Point(opts_.dims);
-  std::memcpy(&e.seq, slot, 8);
-  std::memcpy(&e.prob, slot + 8, 8);
-  std::memcpy(&e.time, slot + 16, 8);
-  for (int d = 0; d < opts_.dims; ++d) {
-    std::memcpy(&e.pos[d], slot + 24 + 8 * static_cast<size_t>(d), 8);
-  }
+  ReadSlot(slot, &e);
   return e;
 }
 
@@ -218,6 +334,32 @@ std::vector<UncertainElement> SegmentStore::Snapshot() const {
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
   return out;
+}
+
+SegmentStore::Cursor SegmentStore::NewCursor() const {
+  return Cursor(this, total_popped_, total_popped_ + size_);
+}
+
+void SegmentStore::SetResidentBudget(size_t budget) {
+  opts_.resident_budget = budget;
+  if (!segments_.empty()) EnforceResidentBudget(segments_.size());
+}
+
+bool SegmentStore::Cursor::Next(UncertainElement* out) {
+  // Elements popped since the last call are gone; skip to the oldest
+  // survivor (total_popped_ is the absolute index of the current head).
+  if (abs_next_ < store_->total_popped_) abs_next_ = store_->total_popped_;
+  if (abs_next_ >= abs_end_) return false;
+  *out = store_->At(static_cast<size_t>(abs_next_ - store_->total_popped_));
+  ++abs_next_;
+  return true;
+}
+
+uint64_t SegmentStore::Cursor::remaining() const {
+  const uint64_t next = abs_next_ < store_->total_popped_
+                            ? store_->total_popped_
+                            : abs_next_;
+  return next >= abs_end_ ? 0 : abs_end_ - next;
 }
 
 StoredCountWindow::StoredCountWindow(size_t capacity,

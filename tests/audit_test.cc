@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include "base/build_info.h"
+#include "base/check.h"
 #include "core/audit.h"
 #include "core/ssky_operator.h"
+#include "store/segment_store.h"
 #include "stream/generator.h"
 #include "stream/window.h"
 #include "test_util.h"
@@ -309,6 +311,104 @@ TEST(QuarantineTest, RejectsFlippedByteAndTruncation) {
 TEST(QuarantineTest, FileNameIsZeroPaddedAndSortable) {
   EXPECT_EQ(QuarantineFileName(5000), "quarantine-00000000000000005000.pskyq");
   EXPECT_LT(QuarantineFileName(999), QuarantineFileName(1000));
+}
+
+// --- streamed-window auditing (out-of-core windows) ----------------------
+
+// An operator over a StoredCountWindow with the streaming AuditManager,
+// mirroring Pipeline but visiting the window through segment cursors.
+struct StreamedPipeline {
+  explicit StreamedPipeline(
+      AuditOptions options, const std::string& tag,
+      SpatialDistribution dist = SpatialDistribution::kIndependent)
+      : op(kDims, kQ),
+        window(kWindow, StoreOptions(tag)),
+        gen(ConfigFor(dist)),
+        audit(&op, options, MakeStream(&window)) {
+    std::string error;
+    PSKY_CHECK_MSG(window.Init(&error), error.c_str());
+  }
+
+  static SegmentStore::Options StoreOptions(const std::string& tag) {
+    SegmentStore::Options o;
+    o.dir = TempPath("audit_stream_" + tag);
+    fs::remove_all(o.dir);
+    o.dims = kDims;
+    o.elements_per_segment = 32;  // kWindow=300 spans ~10 segments
+    o.resident_budget = 3;        // force remaps during audit scans
+    return o;
+  }
+
+  static AuditManager::WindowStream MakeStream(StoredCountWindow* w) {
+    AuditManager::WindowStream ws;
+    ws.size = [w]() { return static_cast<uint64_t>(w->size()); };
+    ws.at = [w](uint64_t i) { return w->At(static_cast<size_t>(i)); };
+    ws.scan = [w](const std::function<void(const UncertainElement&)>& fn) {
+      SegmentStore::Cursor cur = w->NewCursor();
+      UncertainElement e;
+      while (cur.Next(&e)) fn(e);
+    };
+    return ws;
+  }
+
+  void Run(size_t steps) {
+    for (size_t i = 0; i < steps; ++i) {
+      const UncertainElement e = gen.Next();
+      if (auto expired = window.Push(e)) op.Expire(*expired);
+      op.Insert(e);
+      audit.Step();
+    }
+  }
+
+  SskyOperator op;
+  StoredCountWindow window;
+  StreamGenerator gen;
+  AuditManager audit;
+};
+
+// Same stream, same cadence: the streamed auditor must reach the same
+// verdicts as the snapshot auditor — clean stream, zero violations, and
+// identical audit/oracle counts (the exact P_new sums are computed over
+// the same elements in the same order).
+TEST(AuditStreamedTest, MatchesSnapshotAuditOnCleanStream) {
+  AuditOptions options = Options(AuditMode::kCheck);
+  options.oracle_every = 1000;
+  Pipeline snap(options);
+  StreamedPipeline streamed(options, "clean");
+  snap.Run(4000);
+  streamed.Run(4000);
+  const AuditReport& a = snap.audit.report();
+  const AuditReport& b = streamed.audit.report();
+  EXPECT_EQ(a.elements_audited, b.elements_audited);
+  EXPECT_EQ(a.oracle_replays, b.oracle_replays);
+  EXPECT_EQ(a.max_drift, b.max_drift);  // same sums, same order: bitwise
+  EXPECT_EQ(b.drift_beyond_tolerance, 0u);
+  EXPECT_EQ(b.false_evictions, 0u);
+  EXPECT_EQ(b.oracle_mismatches, 0u);
+  EXPECT_EQ(b.violations_unrepaired, 0u);
+}
+
+TEST(AuditStreamedTest, RepairsInjectedDriftThroughTheCursor) {
+  StreamedPipeline p(Options(AuditMode::kRepair), "repair");
+  p.Run(2000);
+  // Corrupt a live skyline member exactly as the snapshot tests do.
+  const std::vector<SkylineMember> sky = p.op.Skyline();
+  ASSERT_FALSE(sky.empty());
+  const SkylineMember& victim = sky.front();
+  const SkyTree::AuditView view =
+      p.op.tree().LookupForAudit(victim.element.pos, victim.element.seq);
+  ASSERT_TRUE(view.found);
+  p.op.mutable_tree()->RepairElement(victim.element.pos, victim.element.seq,
+                                     view.pnew_log - 2.0, view.pold_log);
+  EXPECT_EQ(p.audit.AuditAll(), 0u);
+  const AuditReport& r = p.audit.report();
+  EXPECT_GE(r.repairs_applied, 1u);
+  EXPECT_EQ(r.violations_unrepaired, 0u);
+  // The repaired value is exact again.
+  const SkyTree::AuditView healed =
+      p.op.tree().LookupForAudit(victim.element.pos, victim.element.seq);
+  ASSERT_TRUE(healed.found);
+  EXPECT_NEAR(healed.pnew_log, view.pnew_log, 1e-9);
 }
 
 }  // namespace

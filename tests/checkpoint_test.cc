@@ -364,6 +364,116 @@ TEST(CheckpointDir, StaleTempsAreSweptOnWriteAndOnDemand) {
   fs::remove_all(dir);
 }
 
+// The streamed writer must produce the same bytes as the materialized
+// writer for the same logical state — resumability cannot depend on
+// which code path wrote the file.
+TEST(CheckpointStreamed, WriteIsByteIdenticalToMaterializedWrite) {
+  const std::string dir = TempDir("stream_ident");
+  const CheckpointState state = MakeState(3, 200, 61);
+  std::string error;
+  const std::string mat_path = dir + "/mat.psky";
+  ASSERT_TRUE(WriteCheckpointFile(mat_path, state, &error)) << error;
+
+  CheckpointState header = state;
+  header.window.clear();  // the streamed writer must ignore this field
+  size_t cursor = 0;
+  const auto source = [&](UncertainElement* e) {
+    if (cursor >= state.window.size()) return false;
+    *e = state.window[cursor++];
+    return true;
+  };
+  const std::string str_path = dir + "/streamed.psky";
+  int saved_errno = 0;
+  ASSERT_TRUE(WriteCheckpointFileStreamed(str_path, header,
+                                          state.window.size(), source,
+                                          &error, &saved_errno))
+      << error;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string mat_bytes = slurp(mat_path);
+  ASSERT_FALSE(mat_bytes.empty());
+  EXPECT_EQ(mat_bytes, slurp(str_path));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointStreamed, ReadRoundTripsWithoutMaterializing) {
+  const std::string dir = TempDir("stream_read");
+  const CheckpointState state = MakeState(2, 150, 67);
+  std::string error;
+  const std::string path = dir + "/" + CheckpointFileName(1);
+  ASSERT_TRUE(WriteCheckpointFile(path, state, &error)) << error;
+
+  CheckpointState header;
+  std::vector<UncertainElement> collected;
+  ASSERT_TRUE(ReadCheckpointFileStreamed(
+      path, &header,
+      [&](const UncertainElement& e) { collected.push_back(e); }, &error))
+      << error;
+  EXPECT_TRUE(header.window.empty());
+  CheckpointState got = header;
+  got.window = std::move(collected);
+  ExpectStatesEqual(state, got);
+  fs::remove_all(dir);
+}
+
+// Corruption anywhere in the file must be detected before any element
+// reaches the sink: a half-delivered window would rebuild wrong operator
+// state on resume.
+TEST(CheckpointStreamed, CorruptionDeliversNothingToTheSink) {
+  const std::string dir = TempDir("stream_corrupt");
+  const CheckpointState state = MakeState(2, 80, 71);
+  std::string error;
+  const std::string path = dir + "/" + CheckpointFileName(1);
+  ASSERT_TRUE(WriteCheckpointFile(path, state, &error)) << error;
+
+  // Flip one bit near the end of the payload — past where a single-pass
+  // reader would already have delivered most elements.
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 9));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(size - 9));
+    f.write(&byte, 1);
+  }
+  CheckpointState header;
+  size_t delivered = 0;
+  EXPECT_FALSE(ReadCheckpointFileStreamed(
+      path, &header, [&](const UncertainElement&) { ++delivered; }, &error));
+  EXPECT_EQ(delivered, 0u) << "sink ran before CRC validation";
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+  fs::remove_all(dir);
+}
+
+// A source that ends before yielding the promised element count is an
+// error, and the target file must not appear (temp-and-rename).
+TEST(CheckpointStreamed, SourceEndingEarlyFailsWithoutATarget) {
+  const std::string dir = TempDir("stream_short");
+  const CheckpointState state = MakeState(2, 20, 73);
+  CheckpointState header = state;
+  header.window.clear();
+  size_t cursor = 0;
+  const auto source = [&](UncertainElement* e) {
+    if (cursor >= 10) return false;  // promised 20, deliver 10
+    *e = state.window[cursor++];
+    return true;
+  };
+  const std::string path = dir + "/" + CheckpointFileName(1);
+  std::string error;
+  int saved_errno = 0;
+  EXPECT_FALSE(WriteCheckpointFileStreamed(path, header, 20, source, &error,
+                                           &saved_errno));
+  EXPECT_NE(error.find("ended early"), std::string::npos) << error;
+  EXPECT_FALSE(fs::exists(path));
+  fs::remove_all(dir);
+}
+
 TEST(CheckpointDir, EnsureCreatesMissingDirsAndRejectsFiles) {
   const std::string base = TempDir("ensure_dir");
   std::string error;

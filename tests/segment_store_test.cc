@@ -215,6 +215,240 @@ TEST(SegmentStoreTest, RecycleFaultSiteFailsPopAndRetries) {
   fault::Clear();
 }
 
+// One element per segment: every push maps a fresh tail and every pop
+// lands exactly on a segment boundary — the degenerate geometry where
+// off-by-one bugs in boundary handling live.
+TEST(SegmentStoreTest, SingleElementSegments) {
+  const std::string dir = TempDir("one");
+  SegmentStore store(MakeOptions(dir, 2, 1));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 9;
+  StreamGenerator gen(cfg);
+  std::deque<UncertainElement> reference;
+  for (int i = 0; i < 64; ++i) {
+    const UncertainElement e = gen.Take(1).front();
+    reference.push_back(e);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  for (int i = 0; i < 200; ++i) {
+    UncertainElement out;
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ExpectElementsEqual(reference.front(), out);
+    reference.pop_front();
+    const UncertainElement e = gen.Take(1).front();
+    reference.push_back(e);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  while (!reference.empty()) {
+    UncertainElement out;
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ExpectElementsEqual(reference.front(), out);
+    reference.pop_front();
+  }
+  EXPECT_TRUE(store.empty());
+  EXPECT_GT(store.stats().segments_recycled, 0u);
+}
+
+// A pop that drains the front segment must recycle it on that exact pop
+// (not one early, not one late), and draining the store completely must
+// rewind the lone tail segment in place.
+TEST(SegmentStoreTest, PopDrainsExactlyAtSegmentBoundary) {
+  const std::string dir = TempDir("boundary");
+  SegmentStore store(MakeOptions(dir, 2, 4));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 41;
+  StreamGenerator gen(cfg);
+  const std::vector<UncertainElement> pushed = gen.Take(8);
+  for (const auto& e : pushed) {
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  ASSERT_EQ(store.stats().segments_live, 2u);
+  UncertainElement out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ExpectElementsEqual(pushed[static_cast<size_t>(i)], out);
+    EXPECT_EQ(store.stats().segments_live, 2u) << "pop " << i;
+  }
+  // The 4th pop empties the front segment: it must recycle right here.
+  ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+  ExpectElementsEqual(pushed[3], out);
+  EXPECT_EQ(store.stats().segments_live, 1u);
+  EXPECT_EQ(store.stats().segments_recycled, 0u);  // queued, reused later
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ExpectElementsEqual(pushed[static_cast<size_t>(i)], out);
+  }
+  EXPECT_TRUE(store.empty());
+  // Fully drained: the next push reuses the rewound tail in place.
+  const UncertainElement e = gen.Take(1).front();
+  ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  ExpectElementsEqual(e, store.At(0));
+}
+
+// Steady-state rotation long enough for every segment file to be
+// recycled several times over: contents must stay exact and the
+// directory footprint bounded across >= 3 wrap-arounds of the free list.
+TEST(SegmentStoreTest, RecyclesAcrossMultipleWrapArounds) {
+  const std::string dir = TempDir("wrap");
+  SegmentStore store(MakeOptions(dir, 2, 4));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 43;
+  StreamGenerator gen(cfg);
+  std::deque<UncertainElement> reference;
+  for (int i = 0; i < 12; ++i) {  // 3 full segments
+    const UncertainElement e = gen.Take(1).front();
+    reference.push_back(e);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  // 160 rotations = 40 segment drains = each of the ~4 files recycled
+  // ~10 times.
+  for (int i = 0; i < 160; ++i) {
+    UncertainElement out;
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ExpectElementsEqual(reference.front(), out);
+    reference.pop_front();
+    const UncertainElement e = gen.Take(1).front();
+    reference.push_back(e);
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  const SegmentStore::Stats stats = store.stats();
+  EXPECT_GE(stats.segments_recycled, 30u);
+  EXPECT_LE(stats.segments_live, 5u);
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_LE(files, 6u);
+  const std::vector<UncertainElement> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), reference.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    ExpectElementsEqual(reference[i], snap[i]);
+  }
+}
+
+// A cursor opened before the head segment is drained keeps yielding the
+// surviving elements in order: popped elements are skipped, elements
+// pushed after creation are not yielded.
+TEST(SegmentStoreTest, CursorSurvivesHeadRecycleMidIteration) {
+  const std::string dir = TempDir("cursor");
+  SegmentStore::Options opts = MakeOptions(dir, 3, 4);
+  opts.resident_budget = 3;  // floor: cursor remaps evicted segments
+  SegmentStore store(opts);
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 3;
+  cfg.seed = 47;
+  StreamGenerator gen(cfg);
+  const std::vector<UncertainElement> pushed = gen.Take(16);
+  for (const auto& e : pushed) {
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  SegmentStore::Cursor cur = store.NewCursor();
+  EXPECT_EQ(cur.remaining(), 16u);
+  UncertainElement out;
+  ASSERT_TRUE(cur.Next(&out));
+  ExpectElementsEqual(pushed[0], out);
+  ASSERT_TRUE(cur.Next(&out));
+  ExpectElementsEqual(pushed[1], out);
+  // Pop past the cursor position — including the whole head segment —
+  // and push two replacements the cursor must NOT see.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+  }
+  for (const auto& e : gen.Take(2)) {
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  EXPECT_EQ(cur.remaining(), 10u);  // pushed[6..16)
+  for (size_t i = 6; i < 16; ++i) {
+    ASSERT_TRUE(cur.Next(&out)) << "element " << i;
+    ExpectElementsEqual(pushed[i], out);
+  }
+  EXPECT_FALSE(cur.Next(&out));
+  EXPECT_EQ(cur.remaining(), 0u);
+}
+
+// Random access under a resident budget: the mapped-segment count stays
+// within budget + 1 (the segment being read is protected while hot), and
+// evicted segments fault back in with exact contents.
+TEST(SegmentStoreTest, ResidentBudgetBoundsMappedSegments) {
+  const std::string dir = TempDir("budget");
+  SegmentStore::Options opts = MakeOptions(dir, 2, 4);
+  opts.resident_budget = 4;
+  SegmentStore store(opts);
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 53;
+  StreamGenerator gen(cfg);
+  const std::vector<UncertainElement> pushed = gen.Take(64);  // 16 segments
+  for (const auto& e : pushed) {
+    ASSERT_TRUE(store.PushBack(e, &error)) << error;
+  }
+  EXPECT_LE(store.stats().segments_resident, 4u);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const size_t idx = static_cast<size_t>(rng.NextBounded(pushed.size()));
+    ExpectElementsEqual(pushed[idx], store.At(idx));
+    EXPECT_LE(store.stats().segments_resident, 5u) << "access " << i;
+  }
+  EXPECT_GT(store.stats().recycle_pressure, 0u);
+  // Shrinking the budget evicts immediately, down to the pinned set.
+  store.SetResidentBudget(3);
+  EXPECT_LE(store.stats().segments_resident, 3u);
+  // Unlimited budget: a full sweep maps everything and nothing evicts.
+  store.SetResidentBudget(0);
+  const uint64_t pressure_before = store.stats().recycle_pressure;
+  const std::vector<UncertainElement> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), pushed.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    ExpectElementsEqual(pushed[i], snap[i]);
+  }
+  EXPECT_EQ(store.stats().segments_resident, store.stats().segments_live);
+  EXPECT_EQ(store.stats().recycle_pressure, pressure_before);
+}
+
+// Steady-state FIFO rotation: the readahead cursor keeps the next expiry
+// frontier mapped before PopFront reaches it, so front recycles are hits
+// and residency stays at the steady-state minimum, independent of how
+// many segments the window spans.
+TEST(SegmentStoreTest, ReadaheadKeepsExpiryFrontierHot) {
+  const std::string dir = TempDir("readahead");
+  SegmentStore store(MakeOptions(dir, 2, 8));
+  std::string error;
+  ASSERT_TRUE(store.Init(&error)) << error;
+  StreamConfig cfg;
+  cfg.dims = 2;
+  cfg.seed = 59;
+  StreamGenerator gen(cfg);
+  for (int i = 0; i < 80; ++i) {  // 10 segments
+    ASSERT_TRUE(store.PushBack(gen.Take(1).front(), &error)) << error;
+  }
+  // Pure FIFO traffic never needs more than head + readahead + tail.
+  for (int i = 0; i < 800; ++i) {
+    UncertainElement out;
+    ASSERT_TRUE(store.PopFront(&out, &error)) << error;
+    ASSERT_TRUE(store.PushBack(gen.Take(1).front(), &error)) << error;
+    ASSERT_LE(store.stats().segments_resident, 4u) << "rotation " << i;
+  }
+  const SegmentStore::Stats stats = store.stats();
+  EXPECT_GT(stats.readahead_hits, 0u);
+  // The frontier was prefetched by the preceding recycle every time.
+  EXPECT_EQ(stats.readahead_misses, 0u);
+  EXPECT_EQ(stats.recycle_pressure, 0u);
+}
+
 // The operator-visible contract: a stream driven through StoredCountWindow
 // produces bit-identical skyline state to the same stream through
 // CountWindow (the --window-store=disk acceptance check, in-process).

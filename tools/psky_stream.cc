@@ -184,6 +184,10 @@ struct Args {
   std::string store_dir;
   /// Elements per memory-mapped segment file.
   uint64_t segment_elems = 4096;
+  /// Maximum concurrently mapped segments (0 = unlimited; values below
+  /// the store's minimum of 3 are rounded up). Bounds the disk window's
+  /// resident set: peak RSS is ~ budget * segment bytes + S_{N,q}.
+  uint64_t segment_resident_budget = 8;
   /// Historical replay target ("<pos>" or "ts:<seconds>"); empty: off.
   std::string replay_at;
   psky::BadInputPolicy on_bad_input = psky::BadInputPolicy::kFail;
@@ -231,6 +235,7 @@ struct Args {
                "                   [--keep-checkpoints N]\n"
                "                   [--window-store mem|disk] [--store-dir "
                "DIR] [--segment-elems K]\n"
+               "                   [--segment-resident-budget N]\n"
                "                   [--replay-at POS|ts:SECS]\n"
                "                   [--io-retries N] [--io-backoff-ms MS]\n"
                "                   [--max-queue N] [--overload-policy "
@@ -342,6 +347,8 @@ Args Parse(int argc, char** argv) {
       args.store_dir = need(i++);
     } else if (flag == "--segment-elems") {
       args.segment_elems = ParseUint64Value(flag, need(i++));
+    } else if (flag == "--segment-resident-budget") {
+      args.segment_resident_budget = ParseUint64Value(flag, need(i++));
     } else if (flag == "--replay-at") {
       args.replay_at = need(i++);
     } else if (flag == "--max-queue") {
@@ -857,6 +864,10 @@ int main(int argc, char** argv) {
   // still recovers (empty base + WAL from step 1).
   psky::CheckpointState resume_state;
   psky::RecoveredState recovered;  // WAL tail, under --wal --resume
+  // Disk-window streamed resume: the chosen checkpoint file, replayed
+  // element-by-element after the segment store exists (never
+  // materialized into resume_state.window).
+  std::string resume_ckpt_path;
   bool resumed = false;
   bool resumed_with_checkpoint = false;
   if (args.resume) {
@@ -874,6 +885,37 @@ int main(int argc, char** argv) {
       resume_state = recovered.checkpoint;
       resumed_with_checkpoint = recovered.has_checkpoint;
       resumed = recovered.has_checkpoint || !recovered.tail.empty();
+    } else if (args.window_store == "disk") {
+      // Streamed resume: pick the newest checkpoint that validates
+      // (full CRC + payload decode) without materializing its window.
+      // The elements stream straight into the segment store below, once
+      // it exists, so a 100M-element resume never builds an O(N) vector.
+      for (const std::string& path :
+           psky::ListCheckpointFiles(args.checkpoint_dir)) {
+        psky::CheckpointState probe;
+        std::string file_error;
+        if (psky::ReadCheckpointFileStreamed(
+                path, &probe, [](const psky::UncertainElement&) {},
+                &file_error)) {
+          resume_state = std::move(probe);
+          resume_ckpt_path = path;
+          break;
+        }
+        if (!error.empty()) error += "; ";
+        error += path + ": " + file_error;
+      }
+      if (resume_ckpt_path.empty()) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     args.checkpoint_dir.c_str(),
+                     error.empty() ? "no checkpoint files found"
+                                   : error.c_str());
+        return 3;
+      }
+      if (!error.empty()) {
+        std::fprintf(stderr, "warning: skipped corrupt checkpoint(s): %s\n",
+                     error.c_str());
+      }
+      resumed = resumed_with_checkpoint = true;
     } else {
       if (!psky::LoadLatestCheckpoint(args.checkpoint_dir, &resume_state,
                                       &error)) {
@@ -951,6 +993,8 @@ int main(int argc, char** argv) {
                          : "psky-segments";
     store_opts.dims = args.dims;
     store_opts.elements_per_segment = args.segment_elems;
+    store_opts.resident_budget =
+        static_cast<size_t>(args.segment_resident_budget);
     disk_window =
         std::make_unique<psky::StoredCountWindow>(args.window, store_opts);
     std::string error;
@@ -991,6 +1035,23 @@ int main(int argc, char** argv) {
     // resumes into a sharded run and vice versa.
     if (engine != nullptr) {
       engine->Restore(resume_state.window);
+    } else if (disk_window != nullptr && !resume_ckpt_path.empty()) {
+      // Streamed replay: elements flow file -> segment store + operator
+      // one decode batch at a time (ReadCheckpointFileStreamed already
+      // CRC-validated the file during resume selection above).
+      psky::CheckpointState replayed;
+      std::string replay_error;
+      if (!psky::ReadCheckpointFileStreamed(
+              resume_ckpt_path, &replayed,
+              [&](const psky::UncertainElement& e) {
+                disk_window->Push(e);
+                op.Insert(e);
+              },
+              &replay_error)) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     resume_ckpt_path.c_str(), replay_error.c_str());
+        return 3;
+      }
     } else {
       psky::ReplayWindow(resume_state, &op);
       for (const auto& e : resume_state.window) {
@@ -1011,7 +1072,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "resumed at step %llu (window holds %zu elements)\n",
                  static_cast<unsigned long long>(step),
-                 resume_state.window.size());
+                 disk_window != nullptr && !resume_ckpt_path.empty()
+                     ? disk_window->size()
+                     : resume_state.window.size());
   }
 
   // --- WAL tail replay (crash recovery past the checkpoint) -------------
@@ -1074,7 +1137,11 @@ int main(int argc, char** argv) {
     last.lines = resume_state.lines_consumed;
   }
 
-  auto build_state = [&]() -> psky::CheckpointState {
+  // Everything a checkpoint records except the window contents. The
+  // disk-mode streamed writer pairs this header with a segment-store
+  // cursor; build_state() adds the materialized window for every other
+  // consumer (in-memory checkpoints, quarantine dumps).
+  auto build_header = [&]() -> psky::CheckpointState {
     psky::CheckpointState state;
     state.dims = args.dims;
     state.q = args.q;
@@ -1085,13 +1152,17 @@ int main(int argc, char** argv) {
       state.window_kind = psky::WindowKind::kCount;
       state.window_capacity = args.window;
     }
-    state.window = window_snapshot();
     state.elements_consumed = step;
     state.lines_consumed = last.lines;
     state.next_seq = last.next_seq;
     state.bad_lines_skipped = carried.bad_lines_skipped + last.skipped;
     state.probs_clamped = carried.probs_clamped + last.clamped;
     state.ooo_dropped = carried.ooo_dropped + ooo_rejected();
+    return state;
+  };
+  auto build_state = [&]() -> psky::CheckpointState {
+    psky::CheckpointState state = build_header();
+    state.window = window_snapshot();
     return state;
   };
 
@@ -1239,8 +1310,24 @@ int main(int argc, char** argv) {
     const std::string path =
         args.checkpoint_dir + "/" + psky::CheckpointFileName(step);
     std::string error;
-    if (!psky::WriteCheckpointFileRetry(path, build_state(), io_policy,
-                                        &io_stats, &error)) {
+    bool written;
+    if (disk_window != nullptr) {
+      // Streamed write: the window flows segment store -> file one
+      // element at a time, so a giant-window checkpoint holds O(1)
+      // elements in memory. Each retry attempt gets a fresh cursor.
+      auto source_factory = [&]() -> psky::CheckpointElementSource {
+        auto cur = std::make_shared<psky::SegmentStore::Cursor>(
+            disk_window->NewCursor());
+        return [cur](psky::UncertainElement* e) { return cur->Next(e); };
+      };
+      written = psky::WriteCheckpointFileStreamedRetry(
+          path, build_header(), disk_window->size(), source_factory,
+          io_policy, &io_stats, &error);
+    } else {
+      written = psky::WriteCheckpointFileRetry(path, build_state(),
+                                               io_policy, &io_stats, &error);
+    }
+    if (!written) {
       std::fprintf(stderr, "error: checkpoint failed: %s\n", error.c_str());
       // The retry budget is exhausted (or the error was permanent): this
       // run is about to exit 3, so preserve the evidence.
@@ -1295,7 +1382,27 @@ int main(int argc, char** argv) {
   audit_options.audit_every = args.audit_every;
   audit_options.oracle_every = args.audit_oracle_every;
   audit_options.pool = pool.get();
-  psky::AuditManager audit(&op, audit_options, window_snapshot);
+  auto make_audit = [&]() -> psky::AuditManager {
+    if (disk_window != nullptr) {
+      // Streaming window access: slice audits and oracle replays visit
+      // the segment store one mapped segment at a time instead of
+      // snapshotting an O(N) vector (oracle replays run synchronously in
+      // this mode; see AuditManager's streaming constructor).
+      psky::StoredCountWindow* dw = disk_window.get();
+      psky::AuditManager::WindowStream ws;
+      ws.size = [dw]() { return static_cast<uint64_t>(dw->size()); };
+      ws.at = [dw](uint64_t i) { return dw->At(static_cast<size_t>(i)); };
+      ws.scan = [dw](const std::function<void(const psky::UncertainElement&)>&
+                         visit) {
+        psky::SegmentStore::Cursor cur = dw->NewCursor();
+        psky::UncertainElement e;
+        while (cur.Next(&e)) visit(e);
+      };
+      return psky::AuditManager(&op, audit_options, std::move(ws));
+    }
+    return psky::AuditManager(&op, audit_options, window_snapshot);
+  };
+  psky::AuditManager audit = make_audit();
 
   g_postmortem.snapshot = build_state;
   g_postmortem.audit = &audit;
@@ -1317,6 +1424,7 @@ int main(int argc, char** argv) {
                      old_rung, new_rung, pressure);
       });
   psky::DegradationLadder::Effects effects;  // defaults: no degradation
+  size_t applied_budget_divisor = 1;  // last divisor applied to the store
   if (queue_mode) {
     queue = std::make_unique<psky::BoundedIngestQueue>(args.max_queue,
                                                        args.overload_policy);
@@ -1505,6 +1613,26 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(qs.shed_low_prob),
           static_cast<unsigned long long>(qs.shed_incoming), ladder.rung(),
           static_cast<unsigned long long>(audit.steps_since_last_audit()));
+      if (disk_window != nullptr) {
+        // Out-of-core window health: residency should sit at the budget
+        // (or 3 in steady state) and the readahead hit rate near 100%;
+        // nonzero pressure means audits/cursors are fighting the budget.
+        const psky::SegmentStore::Stats ss = disk_window->store_stats();
+        const uint64_t ra_total = ss.readahead_hits + ss.readahead_misses;
+        const double hit_rate =
+            ra_total > 0 ? 100.0 * static_cast<double>(ss.readahead_hits) /
+                               static_cast<double>(ra_total)
+                         : 100.0;
+        std::fprintf(
+            stderr,
+            "segment-heartbeat live=%llu resident=%llu budget=%zu "
+            "recycled=%llu readahead-hit=%.0f%% pressure=%llu\n",
+            static_cast<unsigned long long>(ss.segments_live),
+            static_cast<unsigned long long>(ss.segments_resident),
+            disk_window->resident_budget(),
+            static_cast<unsigned long long>(ss.segments_recycled), hit_rate,
+            static_cast<unsigned long long>(ss.recycle_pressure));
+      }
       if (engine != nullptr) {
         // Per-shard health: SPSC backlog, window imbalance (1.0 = even),
         // merge-side counters. Readable without a barrier.
@@ -1626,6 +1754,20 @@ int main(int argc, char** argv) {
       ladder.Observe(queue->pressure());
       effects = ladder.effects();
       audit.SetDegradation(effects.suspend_oracle, effects.audit_stretch);
+      if (disk_window != nullptr &&
+          effects.segment_budget_divisor != applied_budget_divisor) {
+        // Rung >= 2 memory relief: shrink the mapped-segment budget (the
+        // store clamps at its minimum of 3); divisor 1 restores the
+        // configured budget. An unlimited budget (0) has no meaningful
+        // fraction to shrink to, so it is left alone.
+        applied_budget_divisor = effects.segment_budget_divisor;
+        const size_t base =
+            static_cast<size_t>(args.segment_resident_budget);
+        if (base > 0) {
+          disk_window->SetResidentBudget(
+              std::max<size_t>(1, base / applied_budget_divisor));
+        }
+      }
     }
     if (producer.thread.joinable()) {
       queue->RequestStop();
@@ -1788,10 +1930,16 @@ int main(int argc, char** argv) {
   if (disk_window != nullptr) {
     const psky::SegmentStore::Stats ss = disk_window->store_stats();
     std::fprintf(stderr,
-                 "segment-store: created=%llu recycled=%llu live=%llu\n",
+                 "segment-store: created=%llu recycled=%llu live=%llu "
+                 "resident=%llu readahead-hits=%llu readahead-misses=%llu "
+                 "recycle-pressure=%llu\n",
                  static_cast<unsigned long long>(ss.segments_created),
                  static_cast<unsigned long long>(ss.segments_recycled),
-                 static_cast<unsigned long long>(ss.segments_live));
+                 static_cast<unsigned long long>(ss.segments_live),
+                 static_cast<unsigned long long>(ss.segments_resident),
+                 static_cast<unsigned long long>(ss.readahead_hits),
+                 static_cast<unsigned long long>(ss.readahead_misses),
+                 static_cast<unsigned long long>(ss.recycle_pressure));
   }
   if (args.io_retries > 0 || io_stats.retries > 0) {
     std::fprintf(stderr,
