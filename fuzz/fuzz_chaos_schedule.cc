@@ -1,0 +1,86 @@
+// Fuzz target for the chaos-schedule parser (base/fault_injection.h),
+// the grammar behind psky_stream's user-facing --chaos-schedule flag.
+//
+// The whole input is fed to LoadSchedule as a schedule spec. Contract
+// under test:
+//
+//   * LoadSchedule never crashes, however malformed the spec;
+//   * rejection always carries a diagnostic, and a rejected spec leaves
+//     the previously armed schedule in force (tested by arming a known
+//     schedule first and probing a site after the failed load);
+//   * an accepted spec arms iff it contains at least one clause, and the
+//     armed schedule's hooks (FailErrno / DelayMs / StatsSnapshot) stay
+//     crash-free and self-consistent when driven.
+//
+// Clear() runs at the end of every input so cross-input state cannot
+// accumulate (occurrence counters are process-global by design).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "base/fault_injection.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_chaos_schedule invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+constexpr char kBaseline[] = "fail=wal-fsync@1+:eio";
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace fault = psky::fault;
+  const std::string_view spec(reinterpret_cast<const char*>(data), size);
+
+  // Arm a known-good schedule so a failed load has something to preserve.
+  std::string error;
+  Require(fault::LoadSchedule(kBaseline, &error), "baseline spec rejected");
+  Require(fault::Enabled(), "baseline schedule did not arm");
+
+  error.clear();
+  if (!fault::LoadSchedule(spec, &error)) {
+    Require(!error.empty(), "rejected spec without diagnostic");
+    // The previous schedule must still be armed and still firing.
+    Require(fault::Enabled(), "failed load disarmed the armed schedule");
+    Require(fault::FailErrno(fault::Site::kWalFsync) != 0,
+            "failed load clobbered the armed schedule");
+  } else {
+    // Accepted: arms iff some clause has an effect (a bare "seed=" or an
+    // empty spec parses fine but disarms). Drive every site a little;
+    // hooks must not crash and the stats must stay consistent with what
+    // the hooks reported.
+    const bool armed = fault::Enabled();
+    uint64_t failures = 0;
+    uint64_t delays = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (int s = 0; s < fault::kSiteCount; ++s) {
+        const auto site = static_cast<fault::Site>(s);
+        if (fault::FailErrno(site) != 0) ++failures;
+        if (fault::DelayMs(site) != 0) ++delays;
+      }
+    }
+    const fault::Stats stats = fault::StatsSnapshot();
+    Require(stats.failures_injected == failures,
+            "failure stats disagree with hook results");
+    Require(stats.delays_injected == delays,
+            "delay stats disagree with hook results");
+    // When armed, every probe above took the slow path and was counted;
+    // when disarmed, the fast path counts nothing.
+    Require(fault::Occurrences(fault::Site::kStep) ==
+                (armed ? uint64_t{8} : uint64_t{0}),
+            "occurrence counter out of step");
+  }
+
+  fault::Clear();
+  Require(!fault::Enabled(), "Clear() left fault injection armed");
+  return 0;
+}

@@ -18,6 +18,11 @@
 namespace psky {
 
 /// One-shot cancellation flag, settable from any thread.
+///
+/// Release/acquire ordering is load-bearing: anything the cancelling
+/// thread wrote before Cancel() (a reason, a result, freed budget) is
+/// visible to the traversal thread once it observes cancelled() == true,
+/// so callers need no extra fence to read "why" after "whether".
 class CancelToken {
  public:
   CancelToken() = default;

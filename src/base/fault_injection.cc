@@ -3,11 +3,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/random.h"
+#include "base/sync.h"
 
 namespace psky::fault {
 
@@ -35,8 +35,10 @@ struct Schedule {
   Stats stats;
 };
 
-std::mutex g_mu;
-Schedule g_schedule;  // guarded by g_mu
+// Constant-initialized (constexpr ctor), so hooks that fire during
+// static init/teardown never touch an unconstructed lock.
+Mutex g_mu{"fault-schedule", lockrank::kFaultSchedule};
+Schedule g_schedule PSKY_GUARDED_BY(g_mu);
 
 constexpr const char* kSiteNames[kSiteCount] = {
     "ckpt-open",  "ckpt-write",  "ckpt-fsync", "ckpt-rename",
@@ -202,7 +204,7 @@ namespace internal {
 std::atomic<bool> g_armed{false};
 
 int FailErrnoSlow(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   const int s = static_cast<int>(site);
   const uint64_t occurrence = ++g_schedule.occurrences[s];
   for (const Clause& c : g_schedule.per_site[s]) {
@@ -215,7 +217,7 @@ int FailErrnoSlow(Site site) {
 }
 
 uint64_t DelayMsSlow(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   const int s = static_cast<int>(site);
   const uint64_t occurrence = ++g_schedule.occurrences[s];
   for (const Clause& c : g_schedule.per_site[s]) {
@@ -267,7 +269,7 @@ bool LoadSchedule(std::string_view spec, std::string* error) {
   bool any = false;
   for (const auto& clauses : fresh.per_site) any = any || !clauses.empty();
   {
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     g_schedule = std::move(fresh);
   }
   internal::g_armed.store(any, std::memory_order_relaxed);
@@ -276,17 +278,17 @@ bool LoadSchedule(std::string_view spec, std::string* error) {
 
 void Clear() {
   internal::g_armed.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_schedule = Schedule{};
 }
 
 Stats StatsSnapshot() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return g_schedule.stats;
 }
 
 uint64_t Occurrences(Site site) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return g_schedule.occurrences[static_cast<int>(site)];
 }
 

@@ -22,11 +22,11 @@
 #define PSKY_BASE_SPSC_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace psky {
 
@@ -49,7 +49,7 @@ class SpscQueue {
 
   /// Producer side. Blocks while the queue is full; returns false only
   /// when Close() raced ahead (no element is enqueued then).
-  bool Push(T value) {
+  bool Push(T value) PSKY_EXCLUDES(door_mu_) {
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
       if (!WaitNotFull(head)) return false;
@@ -61,7 +61,7 @@ class SpscQueue {
   }
 
   /// Producer side, non-blocking: returns false when full or closed.
-  bool TryPush(T value) {
+  bool TryPush(T value) PSKY_EXCLUDES(door_mu_) {
     if (closed_.load(std::memory_order_relaxed)) return false;
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
@@ -77,7 +77,7 @@ class SpscQueue {
   /// (appended; `*out` is not cleared). Blocks while the queue is empty
   /// and not closed. Returns the number popped; 0 means closed-and-
   /// drained.
-  size_t PopBatch(std::vector<T>* out, size_t max) {
+  size_t PopBatch(std::vector<T>* out, size_t max) PSKY_EXCLUDES(door_mu_) {
     size_t tail = tail_.load(std::memory_order_relaxed);
     size_t head = head_.load(std::memory_order_acquire);
     if (tail == head) {
@@ -95,12 +95,12 @@ class SpscQueue {
 
   /// Producer side: marks the stream complete. Consumers drain what is
   /// queued and then see PopBatch() == 0.
-  void Close() {
+  void Close() PSKY_EXCLUDES(door_mu_) {
     {
-      std::lock_guard<std::mutex> lock(door_mu_);
+      MutexLock lock(door_mu_);
       closed_.store(true, std::memory_order_release);
     }
-    door_cv_.notify_all();
+    door_cv_.NotifyAll();
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -116,23 +116,24 @@ class SpscQueue {
   // Doorbell protocol (eventcount-style): the waiter sets its waiting
   // flag, fences seq_cst, then re-checks the index; the publisher stores
   // the index, fences seq_cst, then checks the flag. The paired fences
-  // guarantee at least one side observes the other, so either the
-  // publisher notifies (under the mutex, where the waiter re-checks the
-  // predicate before sleeping — no lost wakeup) or the waiter sees the
-  // fresh index and never sleeps.
-  void RingDoorbell(std::atomic<bool>* flag) {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+  // (SeqCstFence on the shared hint, so TSan models them too) guarantee
+  // at least one side observes the other, so either the publisher
+  // notifies (under the mutex, where the waiter re-checks the predicate
+  // before sleeping — no lost wakeup) or the waiter sees the fresh index
+  // and never sleeps.
+  void RingDoorbell(std::atomic<bool>* flag) PSKY_EXCLUDES(door_mu_) {
+    SeqCstFence(fence_hint_);
     if (flag->load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(door_mu_);
-      door_cv_.notify_all();
+      MutexLock lock(door_mu_);
+      door_cv_.NotifyAll();
     }
   }
 
-  bool WaitNotFull(size_t head) {
-    std::unique_lock<std::mutex> lock(door_mu_);
+  bool WaitNotFull(size_t head) PSKY_EXCLUDES(door_mu_) {
+    MutexLock lock(door_mu_);
     producer_waiting_.store(true, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    door_cv_.wait(lock, [&] {
+    SeqCstFence(fence_hint_);
+    door_cv_.Wait(door_mu_, [&] {
       return closed_.load(std::memory_order_acquire) ||
              head - tail_.load(std::memory_order_acquire) < slots_.size();
     });
@@ -140,11 +141,11 @@ class SpscQueue {
     return !closed_.load(std::memory_order_acquire);
   }
 
-  bool WaitNotEmpty(size_t tail, size_t* head) {
-    std::unique_lock<std::mutex> lock(door_mu_);
+  bool WaitNotEmpty(size_t tail, size_t* head) PSKY_EXCLUDES(door_mu_) {
+    MutexLock lock(door_mu_);
     consumer_waiting_.store(true, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    door_cv_.wait(lock, [&] {
+    SeqCstFence(fence_hint_);
+    door_cv_.Wait(door_mu_, [&] {
       *head = head_.load(std::memory_order_acquire);
       return *head != tail || closed_.load(std::memory_order_acquire);
     });
@@ -156,11 +157,18 @@ class SpscQueue {
   size_t mask_ = 0;
   std::atomic<size_t> head_{0};  // next slot the producer writes
   std::atomic<size_t> tail_{0};  // next slot the consumer reads
+  // The atomics below are *not* GUARDED_BY(door_mu_): the fast path
+  // reads them lock-free; the doorbell protocol (seq_cst fences + the
+  // re-check under the mutex) is what prevents lost wakeups.
   std::atomic<bool> closed_{false};
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
-  std::mutex door_mu_;
-  std::condition_variable door_cv_;
+  /// Shared hint for SeqCstFence (only touched in TSan builds).
+  std::atomic<unsigned> fence_hint_{0};
+  /// Parking lot for the full/empty slow path only; no queue state is
+  /// guarded by it.
+  Mutex door_mu_{"spsc-doorbell", lockrank::kShardDoorbell};
+  CondVar door_cv_;
 };
 
 }  // namespace psky

@@ -1,0 +1,121 @@
+#include "base/sync.h"
+
+#include <cstdio>
+#include <string>
+
+#include "base/check.h"
+
+namespace psky::lockrank {
+namespace {
+
+// Default: armed wherever a debugging build is already paying for
+// checks — assertions on (!NDEBUG) or any sanitizer — so every existing
+// chaos/TSan test exercises rank order for free. Release builds pay one
+// relaxed load per acquisition until a test arms it explicitly.
+#if defined(__has_feature)
+#define PSKY_LOCKRANK_HAS_FEATURE_(x) __has_feature(x)
+#else
+#define PSKY_LOCKRANK_HAS_FEATURE_(x) 0
+#endif
+#if !defined(NDEBUG) || defined(__SANITIZE_THREAD__) ||      \
+    defined(__SANITIZE_ADDRESS__) ||                         \
+    PSKY_LOCKRANK_HAS_FEATURE_(thread_sanitizer) ||          \
+    PSKY_LOCKRANK_HAS_FEATURE_(address_sanitizer)
+constexpr bool kDefaultArmed = true;
+#else
+constexpr bool kDefaultArmed = false;
+#endif
+
+struct HeldLock {
+  const void* mu;
+  const char* name;
+  int rank;
+};
+
+// Per-thread held-lock stack. A fixed, trivially-destructible array so
+// acquisitions during thread teardown (or from file-scope mutexes at
+// process exit) never touch a destroyed thread_local. Depth 16 is ~3x
+// the deepest real nesting; overflow degrades to not-recorded, never to
+// a false positive.
+constexpr int kMaxHeld = 16;
+thread_local HeldLock t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+std::atomic<ViolationHandler> g_violation_handler{nullptr};
+
+void ReportViolation(const char* name, int rank) {
+  std::string msg = "lock-rank violation: acquiring \"";
+  msg += name;
+  msg += "\" (rank ";
+  msg += std::to_string(rank);
+  msg += ") while holding";
+  for (int i = 0; i < t_held_count; ++i) {
+    msg += i == 0 ? " " : ", ";
+    msg += '"';
+    msg += t_held[i].name;
+    msg += "\" (rank ";
+    msg += std::to_string(t_held[i].rank);
+    msg += ')';
+  }
+  msg += "; acquire in increasing rank order (see lockrank table in "
+         "base/sync.h)";
+  ViolationHandler handler =
+      g_violation_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(msg.c_str());
+    return;  // test mode: record the would-be abort and continue
+  }
+  CheckFailed("lockrank::OrderRespected", __FILE__, __LINE__, msg.c_str());
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_armed{kDefaultArmed};
+
+void OnAcquire(const void* mu, const char* name, int rank) {
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i].rank >= rank) {
+      ReportViolation(name, rank);
+      break;
+    }
+  }
+  OnAcquired(mu, name, rank);
+}
+
+void OnAcquired(const void* mu, const char* name, int rank) {
+  if (t_held_count >= kMaxHeld) return;
+  t_held[t_held_count++] = HeldLock{mu, name, rank};
+}
+
+void OnRelease(const void* mu) {
+  // Search from the top: releases are almost always LIFO, but nothing
+  // requires it. Not-found is ignored (the lock was acquired while the
+  // checker was disarmed).
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu == mu) {
+      for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+      --t_held_count;
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+
+bool SetArmed(bool armed) {
+  return internal::g_armed.exchange(armed, std::memory_order_relaxed);
+}
+
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler) {
+  return g_violation_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+int HeldRanks(int* out, int max) {
+  int n = t_held_count < max ? t_held_count : max;
+  for (int i = 0; i < n; ++i) out[i] = t_held[i].rank;
+  return n;
+}
+
+}  // namespace psky::lockrank

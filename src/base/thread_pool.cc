@@ -7,12 +7,13 @@
 
 namespace psky {
 
-ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads < 1) num_threads = 1;
-  workers_.reserve(static_cast<size_t>(num_threads));
-  running_since_.resize(static_cast<size_t>(num_threads));
-  running_.resize(static_cast<size_t>(num_threads), false);
-  for (int i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  MutexLock lock(mu_);
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  running_since_.resize(static_cast<size_t>(num_threads_));
+  running_.resize(static_cast<size_t>(num_threads_), false);
+  for (int i = 0; i < num_threads_; ++i) {
     workers_.emplace_back(
         [this, i]() { WorkerLoop(static_cast<size_t>(i)); });
   }
@@ -22,27 +23,46 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PSKY_CHECK_MSG(!shutting_down_, "Submit() on a shut-down ThreadPool");
     queue_.push_back(Job{std::move(job), Clock::now()});
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() {
+    mu_.AssertHeld();
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::Shutdown() {
+  // Exactly one caller (the first) swaps the workers out and joins them;
+  // later or concurrent callers wait for workers_joined_ so that *every*
+  // Shutdown() return means "no worker thread is live" — previously a
+  // second caller could return while the first was still joining.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) return;
+    MutexLock lock(mu_);
+    if (shutting_down_) {
+      idle_.Wait(mu_, [this]() {
+        mu_.AssertHeld();
+        return workers_joined_;
+      });
+      return;
+    }
     shutting_down_ = true;
+    workers.swap(workers_);
   }
-  work_available_.notify_all();
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
+  work_available_.NotifyAll();
+  for (std::thread& t : workers) t.join();
+  {
+    MutexLock lock(mu_);
+    workers_joined_ = true;
+  }
+  idle_.NotifyAll();
 }
 
 int ThreadPool::DefaultThreads() {
@@ -57,7 +77,7 @@ ThreadPool::Status ThreadPool::GetStatus() const {
         std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
             .count());
   };
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status status;
   status.queued = queue_.size();
   status.active = active_;
@@ -75,9 +95,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_available_.Wait(mu_, [this]() {
+        mu_.AssertHeld();
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutting down and drained
       job = std::move(queue_.front().fn);
       queue_.pop_front();
@@ -90,10 +112,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     if (fault::Enabled()) fault::MaybeDelay(fault::Site::kPoolTask);
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       running_[worker_index] = false;
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -12,23 +12,25 @@
 // nowhere near contention.
 //
 // Threads are joined in the destructor; submitting after Shutdown() (or
-// during destruction) aborts. All public methods are thread-safe.
+// during destruction) aborts. All public methods are thread-safe;
+// concurrent Shutdown() calls are safe and every caller returns only
+// after the workers are joined.
 
 #ifndef PSKY_BASE_THREAD_POOL_H_
 #define PSKY_BASE_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace psky {
 
@@ -41,10 +43,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// The configured worker count (stable across Shutdown).
+  int num_threads() const { return num_threads_; }
 
   /// Enqueues a fire-and-forget job.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) PSKY_EXCLUDES(mu_);
 
   /// Enqueues `fn` and returns a future for its result.
   template <typename Fn>
@@ -59,11 +62,13 @@ class ThreadPool {
 
   /// Blocks until every queued and running job has finished. New jobs may
   /// be submitted concurrently; this returns once the pool is drained.
-  void Wait();
+  void Wait() PSKY_EXCLUDES(mu_);
 
-  /// Drains outstanding jobs and joins the workers. Idempotent; called by
-  /// the destructor.
-  void Shutdown();
+  /// Drains outstanding jobs and joins the workers. Idempotent and safe
+  /// to call concurrently: one caller performs the join, the rest block
+  /// until it completes, so no caller returns while a worker is live.
+  /// Called by the destructor.
+  void Shutdown() PSKY_EXCLUDES(mu_);
 
   /// A sensible default worker count for this machine (hardware
   /// concurrency, at least 1).
@@ -80,7 +85,7 @@ class ThreadPool {
     uint64_t oldest_queued_ms = 0;
     uint64_t longest_running_ms = 0;
   };
-  Status GetStatus() const;
+  Status GetStatus() const PSKY_EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -90,19 +95,26 @@ class ThreadPool {
     Clock::time_point enqueued;
   };
 
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) PSKY_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<Job> queue_;
-  int active_ = 0;
-  bool shutting_down_ = false;
+  const int num_threads_;
+  mutable Mutex mu_{"thread-pool", lockrank::kThreadPool};
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<Job> queue_ PSKY_GUARDED_BY(mu_);
+  int active_ PSKY_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ PSKY_GUARDED_BY(mu_) = false;
+  /// True once the shutdown joiner has reaped every worker; concurrent
+  /// Shutdown() callers wait on idle_ for it.
+  bool workers_joined_ PSKY_GUARDED_BY(mu_) = false;
   // Per-worker start time of the job currently running; meaningful only
-  // where running_[i] is true. Guarded by mu_.
-  std::vector<Clock::time_point> running_since_;
-  std::vector<bool> running_;
-  std::vector<std::thread> workers_;
+  // where running_[i] is true.
+  std::vector<Clock::time_point> running_since_ PSKY_GUARDED_BY(mu_);
+  std::vector<bool> running_ PSKY_GUARDED_BY(mu_);
+  /// Swapped out under mu_ by the winning Shutdown() caller, joined
+  /// outside the lock (joining under mu_ would deadlock the workers'
+  /// own queue access).
+  std::vector<std::thread> workers_ PSKY_GUARDED_BY(mu_);
 };
 
 }  // namespace psky

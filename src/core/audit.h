@@ -197,6 +197,13 @@ class AuditManager {
   // An asynchronous oracle replay in flight: the skyline the operator
   // reported at snapshot time, plus the future delivering what the naive
   // oracle says it should have been.
+  //
+  // Concurrency contract (why this class carries no Mutex of its own):
+  // the worker job owns value *copies* captured at launch — it never
+  // touches the live operator, window, or this object — and its only
+  // communication back is the future, whose set/get pair is the
+  // synchronization edge. Everything else in AuditManager runs on the
+  // single pipeline thread.
   struct PendingOracle {
     std::vector<uint64_t> reported;
     std::future<std::vector<uint64_t>> want;

@@ -41,7 +41,7 @@ BoundedIngestQueue::BoundedIngestQueue(size_t capacity, OverloadPolicy policy)
 }
 
 bool BoundedIngestQueue::Push(IngestItem item) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stop_requested_ || producer_closed_) {
     ++stats_.dropped_on_stop;
     return false;
@@ -50,7 +50,8 @@ bool BoundedIngestQueue::Push(IngestItem item) {
     switch (policy_) {
       case OverloadPolicy::kBlock: {
         ++stats_.producer_blocks;
-        can_push_.wait(lock, [this]() {
+        can_push_.Wait(mu_, [this]() {
+          mu_.AssertHeld();
           return items_.size() < capacity_ || stop_requested_;
         });
         if (stop_requested_) {
@@ -89,36 +90,37 @@ bool BoundedIngestQueue::Push(IngestItem item) {
   items_.push_back(std::move(item));
   ++stats_.enqueued;
   stats_.peak_depth = std::max(stats_.peak_depth, items_.size());
-  lock.unlock();
-  can_pop_.notify_one();
+  lock.Release();
+  can_pop_.NotifyOne();
   return true;
 }
 
 void BoundedIngestQueue::CloseProducer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     producer_closed_ = true;
   }
-  can_pop_.notify_all();
-  can_push_.notify_all();
+  can_pop_.NotifyAll();
+  can_push_.NotifyAll();
 }
 
 void BoundedIngestQueue::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_requested_ = true;
   }
-  can_pop_.notify_all();
-  can_push_.notify_all();
+  can_pop_.NotifyAll();
+  can_push_.NotifyAll();
 }
 
 size_t BoundedIngestQueue::PopBatch(std::vector<IngestItem>* out,
                                     size_t max_items, uint64_t wait_ms) {
   out->clear();
   if (max_items == 0) return 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (items_.empty()) {
-    can_pop_.wait_for(lock, std::chrono::milliseconds(wait_ms), [this]() {
+    can_pop_.WaitFor(mu_, std::chrono::milliseconds(wait_ms), [this]() {
+      mu_.AssertHeld();
       return !items_.empty() || producer_closed_ || stop_requested_;
     });
   }
@@ -128,28 +130,28 @@ size_t BoundedIngestQueue::PopBatch(std::vector<IngestItem>* out,
     items_.pop_front();
   }
   stats_.dequeued += n;
-  lock.unlock();
-  if (n > 0) can_push_.notify_all();
+  lock.Release();
+  if (n > 0) can_push_.NotifyAll();
   return n;
 }
 
 bool BoundedIngestQueue::drained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return (producer_closed_ || stop_requested_) && items_.empty();
 }
 
 size_t BoundedIngestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
 double BoundedIngestQueue::pressure() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<double>(items_.size()) / static_cast<double>(capacity_);
 }
 
 QueueStats BoundedIngestQueue::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -219,24 +221,48 @@ Watchdog::Watchdog(Options options, AlarmFn alarm)
 Watchdog::~Watchdog() { Stop(); }
 
 void Watchdog::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (thread_.joinable()) return;
-  stopping_ = false;
+  MutexLock lock(mu_);
+  // kStopping: a Stop() owns the join but has not finished; starting a
+  // fresh thread would race the join on thread_.
+  if (state_ != State::kIdle) return;
+  state_ = State::kRunning;
   thread_ = std::thread([this]() { Loop(); });
 }
 
 void Watchdog::Stop() {
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!thread_.joinable()) return;
-    stopping_ = true;
+    MutexLock lock(mu_);
+    switch (state_) {
+      case State::kIdle:
+        return;
+      case State::kRunning:
+        // This caller wins the join. Claim the handle under the lock so
+        // no other Stop (or Start) can touch it.
+        state_ = State::kStopping;
+        to_join = std::move(thread_);
+        break;
+      case State::kStopping:
+        // Another Stop is joining; wait until it reports completion so
+        // every Stop() return means "the poll thread is gone".
+        stop_cv_.Wait(mu_, [this]() {
+          mu_.AssertHeld();
+          return state_ == State::kIdle;
+        });
+        return;
+    }
   }
-  stop_cv_.notify_all();
-  thread_.join();
+  stop_cv_.NotifyAll();  // wake the poll loop out of its interval wait
+  to_join.join();
+  {
+    MutexLock lock(mu_);
+    state_ = State::kIdle;
+  }
+  stop_cv_.NotifyAll();  // release Stops that lost the claim
 }
 
 Watchdog::Stats Watchdog::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -247,9 +273,12 @@ void Watchdog::Loop() {
   bool pool_alarmed = false;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
-                            [this]() { return stopping_; })) {
+      MutexLock lock(mu_);
+      if (stop_cv_.WaitFor(mu_, std::chrono::milliseconds(options_.poll_ms),
+                           [this]() {
+                             mu_.AssertHeld();
+                             return state_ == State::kStopping;
+                           })) {
         return;
       }
     }
@@ -263,7 +292,7 @@ void Watchdog::Loop() {
       gap_ms += options_.poll_ms;
       bool fire = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.max_step_gap_ms = std::max(stats_.max_step_gap_ms, gap_ms);
         if (gap_ms >= options_.stall_ms && !step_alarmed) {
           ++stats_.step_stalls;
@@ -288,7 +317,7 @@ void Watchdog::Loop() {
         if (!pool_alarmed) {
           pool_alarmed = true;
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             ++stats_.pool_stalls;
           }
           if (alarm_) {

@@ -20,16 +20,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "base/sync.h"
 #include "base/thread_pool.h"
 #include "stream/element.h"
 
@@ -85,44 +84,44 @@ class BoundedIngestQueue {
   /// Producer side: admits `item` per the pressure policy. Under kBlock a
   /// full queue makes this wait; under the shed policies it never waits.
   /// Returns false only after RequestStop (the item is counted dropped).
-  bool Push(IngestItem item);
+  bool Push(IngestItem item) PSKY_EXCLUDES(mu_);
 
   /// Marks the producer done: consumers drain the remainder, then PopBatch
   /// returns 0 forever.
-  void CloseProducer();
+  void CloseProducer() PSKY_EXCLUDES(mu_);
 
   /// Emergency unblock (signal path): pending and future pushes fail fast;
   /// queued items remain drainable.
-  void RequestStop();
+  void RequestStop() PSKY_EXCLUDES(mu_);
 
   /// Consumer side: appends up to `max_items` items to `*out` (which is
   /// cleared first), blocking up to `wait_ms` for the first one. Returns
   /// the number delivered; 0 means timeout, or closed-and-drained (check
   /// drained()).
   size_t PopBatch(std::vector<IngestItem>* out, size_t max_items,
-                  uint64_t wait_ms);
+                  uint64_t wait_ms) PSKY_EXCLUDES(mu_);
 
   /// True once the producer closed (or stop was requested) and every
   /// queued item has been popped.
-  bool drained() const;
+  bool drained() const PSKY_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   OverloadPolicy policy() const { return policy_; }
-  size_t depth() const;
+  size_t depth() const PSKY_EXCLUDES(mu_);
   /// Instantaneous fullness in [0, 1]; the degradation ladder's input.
-  double pressure() const;
-  QueueStats StatsSnapshot() const;
+  double pressure() const PSKY_EXCLUDES(mu_);
+  QueueStats StatsSnapshot() const PSKY_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const OverloadPolicy policy_;
-  mutable std::mutex mu_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<IngestItem> items_;
-  bool producer_closed_ = false;
-  bool stop_requested_ = false;
-  QueueStats stats_;
+  mutable Mutex mu_{"ingest-queue", lockrank::kIngestQueue};
+  CondVar can_push_;
+  CondVar can_pop_;
+  std::deque<IngestItem> items_ PSKY_GUARDED_BY(mu_);
+  bool producer_closed_ PSKY_GUARDED_BY(mu_) = false;
+  bool stop_requested_ PSKY_GUARDED_BY(mu_) = false;
+  QueueStats stats_ PSKY_GUARDED_BY(mu_);
 };
 
 /// Hysteresis-driven overload response. Pressure observations (queue
@@ -227,8 +226,15 @@ class Watchdog {
   /// Optional: also monitor `pool` for wedged tasks. Set before Start().
   void WatchPool(const ThreadPool* pool) { pool_ = pool; }
 
-  void Start();
-  void Stop();
+  /// Starts the poll thread. No-op while it is running or while a
+  /// concurrent Stop() is still joining it.
+  void Start() PSKY_EXCLUDES(mu_);
+
+  /// Stops and joins the poll thread. Idempotent and safe to call
+  /// concurrently: one caller joins, the rest block until the join
+  /// completes (previously two concurrent Stops could both call
+  /// thread_.join() — undefined behavior).
+  void Stop() PSKY_EXCLUDES(mu_);
 
   /// Heartbeat from the consumer loop: one completed pipeline step.
   void OnStep(uint64_t step) {
@@ -240,21 +246,28 @@ class Watchdog {
   /// is not a stalled one.
   void SetBusy(bool busy) { busy_.store(busy, std::memory_order_relaxed); }
 
-  Stats StatsSnapshot() const;
+  Stats StatsSnapshot() const PSKY_EXCLUDES(mu_);
 
  private:
-  void Loop();
+  /// Thread lifecycle: kIdle -> (Start) -> kRunning -> (first Stop)
+  /// -> kStopping -> (join done) -> kIdle. Exactly the kRunning->
+  /// kStopping winner moves thread_ out and joins it.
+  enum class State { kIdle, kRunning, kStopping };
+
+  void Loop() PSKY_EXCLUDES(mu_);
 
   Options options_;
   AlarmFn alarm_;
   const ThreadPool* pool_ = nullptr;
   std::atomic<uint64_t> last_step_{0};
   std::atomic<bool> busy_{false};
-  mutable std::mutex mu_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
-  Stats stats_;
-  std::thread thread_;
+  mutable Mutex mu_{"watchdog", lockrank::kWatchdog};
+  /// Doubles as the poll-loop alarm clock and the join-completion
+  /// broadcast for waiting Stop() callers.
+  CondVar stop_cv_;
+  State state_ PSKY_GUARDED_BY(mu_) = State::kIdle;
+  Stats stats_ PSKY_GUARDED_BY(mu_);
+  std::thread thread_ PSKY_GUARDED_BY(mu_);
 };
 
 }  // namespace psky

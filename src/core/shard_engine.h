@@ -248,7 +248,15 @@ class ShardEngine {
     /// O(dims) min-corner precheck when the exact region is too large.
     std::vector<uint32_t> dim_histogram;  // dims * resolution
     std::unique_ptr<AuditManager> audit;
+    /// Commands applied; the worker's release store after each batch is
+    /// the publication point for everything above (fifo, occupancy,
+    /// op...) — the router's acquire load in Barrier() pairs with it,
+    /// which is the whole happens-before edge the merge relies on.
     std::atomic<uint64_t> applied{0};
+    // Heartbeat gauges: monotonically refreshed, read relaxed by
+    // GetStats() with no ordering relative to anything — stale values
+    // are fine, torn ones impossible. Every access spells its
+    // memory_order (psky-lint `atomic-order`).
     std::atomic<uint64_t> window_elements{0};
     std::atomic<uint64_t> candidates{0};
     std::atomic<uint64_t> audit_violations{0};

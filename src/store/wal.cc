@@ -404,7 +404,7 @@ bool WalWriter::Create(const std::string& path, uint32_t dims,
                   "cannot reopen " + path + ": " + ErrnoString(errno));
   }
   fd_ = fd;
-  UpdateAsyncFd(fd_);
+  UpdateAsyncTarget(fd_);
   path_ = path;
   dims_ = dims;
   buffer_.clear();
@@ -430,7 +430,7 @@ bool WalWriter::OpenForAppend(const std::string& path, std::string* error,
                   "cannot open " + path + ": " + ErrnoString(errno));
   }
   fd_ = fd;
-  UpdateAsyncFd(fd_);
+  UpdateAsyncTarget(fd_);
   path_ = path;
   dims_ = contents.dims;
   buffer_.clear();
@@ -506,7 +506,7 @@ bool WalWriter::DataSyncNow(std::string* error, int* out_errno) {
 
 bool WalWriter::ConsumeStickyError(std::string* error, int* out_errno) {
   {
-    std::lock_guard<std::mutex> lock(async_.mu);
+    MutexLock lock(async_.mu);
     if (async_.sticky_errno == 0 && async_.sticky_error.empty()) return true;
     if (error != nullptr) *error = async_.sticky_error;
     if (out_errno != nullptr) *out_errno = async_.sticky_errno;
@@ -517,7 +517,7 @@ bool WalWriter::ConsumeStickyError(std::string* error, int* out_errno) {
     // a fresh fdatasync instead of vacuously succeeding.
     ++async_.requested;
   }
-  async_.cv.notify_all();
+  async_.cv.NotifyAll();
   return false;
 }
 
@@ -538,10 +538,10 @@ bool WalWriter::Sync(std::string* error, int* out_errno) {
   if (!FlushBuffer(error, out_errno)) return false;
   if (async_.enabled) {
     {
-      std::lock_guard<std::mutex> lock(async_.mu);
+      MutexLock lock(async_.mu);
       ++async_.requested;
     }
-    async_.cv.notify_all();
+    async_.cv.NotifyAll();
     pending_ = 0;
     ++stats_.syncs;
     ++stats_.async_syncs;
@@ -557,14 +557,17 @@ void WalWriter::AsyncSyncLoop() {
   while (true) {
     uint64_t target = 0;
     int fd = -1;
+    std::string path;
     {
-      std::unique_lock<std::mutex> lock(async_.mu);
-      async_.cv.wait(lock, [this] {
+      MutexLock lock(async_.mu);
+      async_.cv.Wait(async_.mu, [this] {
+        async_.mu.AssertHeld();
         return async_.stop || async_.requested > async_.completed;
       });
       if (async_.stop && async_.requested == async_.completed) return;
       target = async_.requested;
       fd = async_.fd;
+      path = async_.path;
     }
     const auto started = std::chrono::steady_clock::now();
     int err = 0;
@@ -580,17 +583,21 @@ void WalWriter::AsyncSyncLoop() {
             std::chrono::steady_clock::now() - started)
             .count());
     {
-      std::lock_guard<std::mutex> lock(async_.mu);
+      MutexLock lock(async_.mu);
       // One fdatasync covers every request issued before it started.
       if (target > async_.completed) async_.completed = target;
       async_.last_latency_ms = latency_ms;
       if (err != 0) {
         async_.sticky_errno = err;
-        async_.sticky_error =
-            "cannot sync " + path_ + ": " + ErrnoString(err) + " (overlapped)";
+        // Name the snapshot path published with the fd, not the live
+        // path_: the appender thread mutates path_ during Create/Rotate/
+        // Close with no lock held (pre-fix this was a data race, and the
+        // message could name the *next* log for a failure in the old one).
+        async_.sticky_error = "cannot sync " + (path.empty() ? "WAL" : path) +
+                              ": " + ErrnoString(err) + " (overlapped)";
       }
     }
-    async_.cv.notify_all();
+    async_.cv.NotifyAll();
   }
 }
 
@@ -598,9 +605,10 @@ void WalWriter::SetAsyncSync(bool enabled) {
   if (enabled == async_.enabled) return;
   if (enabled) {
     {
-      std::lock_guard<std::mutex> lock(async_.mu);
+      MutexLock lock(async_.mu);
       async_.stop = false;
       async_.fd = fd_;
+      async_.path = path_;
     }
     async_.thread = std::thread([this] { AsyncSyncLoop(); });
     async_.enabled = true;
@@ -608,10 +616,10 @@ void WalWriter::SetAsyncSync(bool enabled) {
   }
   SyncBarrier(nullptr, nullptr);  // best effort; sticky error survives
   {
-    std::lock_guard<std::mutex> lock(async_.mu);
+    MutexLock lock(async_.mu);
     async_.stop = true;
   }
-  async_.cv.notify_all();
+  async_.cv.NotifyAll();
   if (async_.thread.joinable()) async_.thread.join();
   async_.enabled = false;
 }
@@ -619,8 +627,9 @@ void WalWriter::SetAsyncSync(bool enabled) {
 bool WalWriter::SyncBarrier(std::string* error, int* out_errno) {
   if (!async_.enabled) return true;
   {
-    std::unique_lock<std::mutex> lock(async_.mu);
-    async_.cv.wait(lock, [this] {
+    MutexLock lock(async_.mu);
+    async_.cv.Wait(async_.mu, [this] {
+      async_.mu.AssertHeld();
       return async_.completed >= async_.requested;
     });
   }
@@ -628,15 +637,20 @@ bool WalWriter::SyncBarrier(std::string* error, int* out_errno) {
 }
 
 uint64_t WalWriter::TakeAsyncSyncLatencyMs() {
-  std::lock_guard<std::mutex> lock(async_.mu);
+  MutexLock lock(async_.mu);
   const uint64_t latency = async_.last_latency_ms;
   async_.last_latency_ms = 0;
   return latency;
 }
 
-void WalWriter::UpdateAsyncFd(int fd) {
-  std::lock_guard<std::mutex> lock(async_.mu);
+void WalWriter::UpdateAsyncTarget(int fd) {
+  MutexLock lock(async_.mu);
   async_.fd = fd;
+  if (fd >= 0) {
+    async_.path = path_;
+  } else {
+    async_.path.clear();
+  }
 }
 
 bool WalWriter::RotateTo(const std::string& dir, uint64_t start_step,
@@ -646,7 +660,7 @@ bool WalWriter::RotateTo(const std::string& dir, uint64_t start_step,
     // Overlapped mode: wait out any in-flight fdatasync before the fd
     // closes — SyncBarrier returning means the worker is idle.
     if (!SyncBarrier(error, out_errno)) return false;
-    UpdateAsyncFd(-1);
+    UpdateAsyncTarget(-1);
     ::close(fd_);
     fd_ = -1;
   }
@@ -663,7 +677,7 @@ void WalWriter::Close() {
   std::string error;
   Sync(&error, nullptr);  // best effort; Close has no failure channel
   SyncBarrier(&error, nullptr);
-  UpdateAsyncFd(-1);
+  UpdateAsyncTarget(-1);
   ::close(fd_);
   fd_ = -1;
   path_.clear();

@@ -37,14 +37,13 @@
 #ifndef PSKY_STORE_WAL_H_
 #define PSKY_STORE_WAL_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "base/sync.h"
 #include "stream/element.h"
 
 namespace psky {
@@ -206,8 +205,15 @@ class WalWriter {
   /// caller's next Sync/SyncBarrier waits on a real attempt.
   bool ConsumeStickyError(std::string* error, int* out_errno);
   void AsyncSyncLoop();
-  void UpdateAsyncFd(int fd);
+  /// Publishes the current fd *and path* to the worker under async_.mu
+  /// (fd < 0 = nothing to sync). The worker must never read the
+  /// appender-owned fd_/path_ directly: they mutate on the caller thread
+  /// across Create/Rotate/Close with no lock held.
+  void UpdateAsyncTarget(int fd);
 
+  // Appender state: owned by the single appender thread (the class is
+  // not thread-safe by contract); the async worker sees snapshots of fd
+  // and path via UpdateAsyncTarget only.
   int fd_ = -1;
   std::string path_;
   uint32_t dims_ = 0;
@@ -215,7 +221,7 @@ class WalWriter {
   uint64_t pending_ = 0;
   Stats stats_;
 
-  /// Overlapped group-commit state. `mu` guards everything below it;
+  /// Overlapped group-commit state. `mu` guards the fields below it;
   /// the worker snapshots `fd` and the request ticket under the lock,
   /// runs fdatasync unlocked, then publishes completion — so
   /// SyncBarrier() returning means no fdatasync is in flight and the fd
@@ -223,15 +229,19 @@ class WalWriter {
   struct AsyncSync {
     bool enabled = false;
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    uint64_t requested = 0;
-    uint64_t completed = 0;
-    int sticky_errno = 0;
-    std::string sticky_error;
-    uint64_t last_latency_ms = 0;
-    int fd = -1;
-    bool stop = false;
+    Mutex mu{"wal-async", lockrank::kWalAsync};
+    CondVar cv;
+    uint64_t requested PSKY_GUARDED_BY(mu) = 0;
+    uint64_t completed PSKY_GUARDED_BY(mu) = 0;
+    int sticky_errno PSKY_GUARDED_BY(mu) = 0;
+    std::string sticky_error PSKY_GUARDED_BY(mu);
+    uint64_t last_latency_ms PSKY_GUARDED_BY(mu) = 0;
+    int fd PSKY_GUARDED_BY(mu) = -1;
+    /// Snapshot of path_ taken when `fd` was published; the worker's
+    /// error messages name this, not the live path_ (which the appender
+    /// may be rewriting during a rotation).
+    std::string path PSKY_GUARDED_BY(mu);
+    bool stop PSKY_GUARDED_BY(mu) = false;
   };
   AsyncSync async_;
 };

@@ -395,6 +395,29 @@ TEST(WatchdogTest, DetectsWedgedPoolTask) {
   EXPECT_GE(log.count(), 1u);
 }
 
+// Regression: two threads calling Stop() concurrently used to race to
+// join the same std::thread (UB); the loser could also return while the
+// poller was still running. Every Stop() caller must return only once
+// the poll thread is fully joined, and the watchdog must be restartable
+// afterwards.
+TEST(WatchdogTest, ConcurrentStopJoinsExactlyOnceAndStaysRestartable) {
+  AlarmLog log;
+  Watchdog dog(FastWatchdog(), [&](const std::string& w) { log.Add(w); });
+  for (int round = 0; round < 10; ++round) {
+    dog.Start();
+    dog.Start();  // second Start while running is a no-op
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&dog] { dog.Stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+    // After every Stop() returned the poller is gone; a fresh Start()
+    // in the next round must spawn a new one (restartability).
+  }
+  dog.Stop();  // stop-when-idle is a no-op
+  EXPECT_EQ(log.count(), 0u);
+}
+
 TEST(ThreadPoolStatusTest, ReportsQueuedAndRunningAges) {
   ThreadPool pool(1);
   std::atomic<bool> release{false};

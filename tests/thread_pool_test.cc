@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "core/audit.h"
@@ -50,6 +51,29 @@ TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
   pool.Shutdown();
   pool.Shutdown();
   EXPECT_EQ(count.load(), 50);
+}
+
+// Regression: concurrent Shutdown() calls used to let later callers
+// return while the first was still joining workers (and both touched
+// workers_ unsynchronized). Every caller must return only after all
+// workers are joined and all queued work ran.
+TEST(ThreadPool, ConcurrentShutdownDrainsAndJoinsOnce) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 4; ++t) {
+      closers.emplace_back([&pool] { pool.Shutdown(); });
+    }
+    for (auto& t : closers) t.join();
+    // Any caller returning early would race this read against live
+    // workers (TSan) or observe a short count.
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_EQ(pool.GetStatus().active, 0);
+  }
 }
 
 TEST(ThreadPool, ClampsToAtLeastOneThread) {

@@ -438,6 +438,46 @@ TEST(WalWriterTest, AsyncSyncSurvivesRotation) {
   }
 }
 
+// Regression (TSan): the background sync worker used to read the live
+// path_ while the appender thread rewrote it during rotation; the fd and
+// path are now published together under the async lock. Hammering
+// RotateTo/Sync cycles in async mode exercises that publish protocol on
+// every rotation — under TSan the pre-fix code reports a race here.
+TEST(WalWriterTest, AsyncSyncRotationCyclesKeepEveryLogDecodable) {
+  const std::string dir = TempDir("asynccycles");
+  WalWriter w;
+  std::string error;
+  int err = 0;
+  ASSERT_TRUE(
+      w.Create(dir + "/" + WalFileName(0), 2, 0, &error, &err))
+      << error;
+  w.SetAsyncSync(true);
+  constexpr uint64_t kRotations = 8;
+  constexpr uint64_t kPerLog = 5;
+  uint64_t step = 0;
+  for (uint64_t rot = 0; rot < kRotations; ++rot) {
+    for (uint64_t i = 0; i < kPerLog; ++i) {
+      ++step;
+      ASSERT_TRUE(w.Append(MakeRecord(2, step, 3), &error, &err)) << error;
+      ASSERT_TRUE(w.Sync(&error, &err)) << error;
+    }
+    ASSERT_TRUE(w.RotateTo(dir, step, &error, &err)) << error;
+  }
+  w.Close();
+  EXPECT_EQ(w.stats().rotations, kRotations);
+
+  const std::vector<std::string> files = ListWalFiles(dir);
+  ASSERT_EQ(files.size(), kRotations + 1);
+  uint64_t records = 0;
+  for (const std::string& f : files) {
+    WalContents contents;
+    ASSERT_TRUE(ReadWalFile(f, &contents, &error)) << error;
+    EXPECT_FALSE(contents.tail_truncated);
+    records += contents.records.size();
+  }
+  EXPECT_EQ(records, kRotations * kPerLog);
+}
+
 // The wal-fsync fault site fires on the caller thread even in async
 // mode, so chaos schedules behave identically in both sync modes.
 TEST(WalWriterTest, AsyncSyncFaultSiteFiresOnCaller) {

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Tests for bench_report.py: the validate schema checks, the compare
+gates (throughput, p99, WAL/disk overhead budgets), and the loud
+missing-row / new-row warnings.
+
+Runs the script as a subprocess exactly as CI does, against synthetic
+result files written to a temp dir. Stdlib only — run directly
+(`python3 tools/bench_report_test.py`) or via ctest (bench_report_selftest).
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPORT = os.path.join(HERE, "bench_report.py")
+
+
+def workload(eps=100000.0, p99=40.0):
+    return {
+        "elements_per_second": eps,
+        "total_seconds": 1.5,
+        "p50_step_us": 10.0,
+        "p99_step_us": p99,
+        "max_candidates": 900,
+        "max_skyline": 120,
+    }
+
+
+def result(scale="full", **overrides):
+    doc = {
+        "schema": "psky-bench-hotpath-v1",
+        "scale": scale,
+        "n": 100000,
+        "window": 10000,
+        "dims": 3,
+        "q": 0.3,
+        "batch_size": 64,
+        "kernel_variant": "scalar",
+        "workloads": {
+            "anti": workload(eps=50000.0, p99=80.0),
+            "inde": workload(eps=100000.0, p99=40.0),
+            "corr": workload(eps=200000.0, p99=20.0),
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class BenchReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_report(self, *args):
+        proc = subprocess.run(
+            [sys.executable, REPORT] + list(args),
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode, proc.stdout, proc.stderr
+
+    # --- validate ---------------------------------------------------------
+
+    def test_validate_accepts_well_formed_file(self):
+        rc, out, err = self.run_report(
+            "validate", self.write("ok.json", result())
+        )
+        self.assertEqual(rc, 0, err)
+        self.assertIn("ok (scale=full", out)
+
+    def test_validate_rejects_wrong_schema_and_missing_keys(self):
+        bad = result(schema="something-else")
+        del bad["kernel_variant"]
+        rc, _, err = self.run_report(
+            "validate", self.write("bad.json", bad)
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("missing key: kernel_variant", err)
+
+    def test_validate_rejects_zero_throughput_and_negative_numbers(self):
+        bad = result()
+        bad["workloads"]["anti"]["elements_per_second"] = 0
+        bad["workloads"]["inde"]["p99_step_us"] = -1.0
+        rc, _, err = self.run_report(
+            "validate", self.write("bad.json", bad)
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("zero throughput", err)
+        self.assertIn("negative", err)
+
+    def test_validate_rejects_implausible_overhead_fraction(self):
+        rc, _, err = self.run_report(
+            "validate", self.write("bad.json", result(disk_overhead=1.5))
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("not a plausible fraction", err)
+
+    # --- compare: throughput / p99 gates ----------------------------------
+
+    def test_compare_passes_when_within_budget(self):
+        base = self.write("base.json", result())
+        cur_doc = result()
+        for w in cur_doc["workloads"].values():
+            w["elements_per_second"] *= 0.9  # -10%: inside the 20% budget
+        cur = self.write("cur.json", cur_doc)
+        rc, out, _ = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("PASS", out)
+
+    def test_compare_fails_on_throughput_regression(self):
+        base = self.write("base.json", result())
+        cur_doc = result()
+        cur_doc["workloads"]["anti"]["elements_per_second"] *= 0.5
+        cur = self.write("cur.json", cur_doc)
+        rc, out, err = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 1)
+        self.assertIn("<< REGRESSION", out)
+        self.assertIn("throughput regressed", err)
+        self.assertIn("anti", err)
+
+    def test_compare_improvements_never_fail(self):
+        base = self.write("base.json", result())
+        cur_doc = result()
+        for w in cur_doc["workloads"].values():
+            w["elements_per_second"] *= 3.0
+        cur = self.write("cur.json", cur_doc)
+        rc, _, _ = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 0)
+
+    def test_compare_gates_p99_only_at_full_scale(self):
+        for scale, want_rc in (("full", 1), ("quick", 0)):
+            base = self.write("base.json", result(scale=scale))
+            cur_doc = result(scale=scale)
+            cur_doc["workloads"]["inde"]["p99_step_us"] *= 2.0  # +100%
+            cur = self.write("cur.json", cur_doc)
+            rc, _, err = self.run_report("compare", base, cur)
+            self.assertEqual(rc, want_rc, f"scale={scale}: {err}")
+            if want_rc == 1:
+                self.assertIn("p99 step latency grew", err)
+
+    # --- compare: row mismatches ------------------------------------------
+
+    def test_compare_missing_row_warns_and_fails(self):
+        base = self.write("base.json", result())
+        cur_doc = result()
+        del cur_doc["workloads"]["corr"]
+        cur = self.write("cur.json", cur_doc)
+        rc, _, err = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 1)
+        self.assertIn("WARNING: workload 'corr' is in the baseline but "
+                      "MISSING", err)
+        self.assertIn("coverage shrank", err)
+
+    def test_compare_new_row_warns_without_failing(self):
+        base = self.write("base.json", result())
+        cur_doc = result()
+        cur_doc["workloads"]["shard_s8"] = workload(eps=400000.0)
+        cur = self.write("cur.json", cur_doc)
+        rc, _, err = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 0, err)
+        self.assertIn("WARNING: workload 'shard_s8' is new", err)
+
+    def test_compare_scale_mismatch_warns(self):
+        base = self.write("base.json", result(scale="full"))
+        cur = self.write("cur.json", result(scale="quick"))
+        rc, _, err = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 0, err)
+        self.assertIn("only", err)
+        self.assertIn("meaningful at matching scales", err)
+
+    # --- compare: overhead budgets ----------------------------------------
+
+    def test_compare_disk_overhead_gate_fires_at_full_scale(self):
+        base = self.write("base.json", result())
+        cur = self.write("cur.json", result(disk_overhead=0.30))
+        rc, out, err = self.run_report(
+            "compare", base, cur, "--max-disk-overhead", "0.15"
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("disk overhead (inde vs inde_disk): +30.0%", out)
+        self.assertIn("exceeds the 15% out-of-core budget", err)
+
+    def test_compare_disk_overhead_reported_not_gated_at_quick_scale(self):
+        base = self.write("base.json", result(scale="quick"))
+        cur = self.write(
+            "cur.json", result(scale="quick", disk_overhead=0.30)
+        )
+        rc, out, _ = self.run_report(
+            "compare", base, cur, "--max-disk-overhead", "0.15"
+        )
+        self.assertEqual(rc, 0)
+        self.assertIn("disk overhead", out)
+
+    def test_compare_wal_overhead_gate_honors_flag(self):
+        base = self.write("base.json", result())
+        cur = self.write("cur.json", result(wal_overhead=0.12))
+        rc, _, err = self.run_report(
+            "compare", base, cur, "--max-wal-overhead", "0.10"
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("durability budget", err)
+        rc, _, _ = self.run_report(
+            "compare", base, cur, "--max-wal-overhead", "0.20"
+        )
+        self.assertEqual(rc, 0)
+
+    def test_compare_rejects_invalid_input_before_diffing(self):
+        base = self.write("base.json", result())
+        bad = copy.deepcopy(result())
+        bad["workloads"] = {}
+        cur = self.write("cur.json", bad)
+        rc, _, err = self.run_report("compare", base, cur)
+        self.assertEqual(rc, 1)
+        self.assertIn("workloads is empty", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

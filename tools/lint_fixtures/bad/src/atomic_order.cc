@@ -1,0 +1,10 @@
+// Atomic calls outside src/base/ must spell their memory_order.
+#include <atomic>
+static std::atomic<int> g_count{0};
+int Read() { return g_count.load(); }
+void Bump() { g_count.fetch_add(1); }
+void Set(int v) {
+  g_count.store(v,
+                std::memory_order_relaxed);
+  g_count.store(v);
+}

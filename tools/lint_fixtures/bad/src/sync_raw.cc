@@ -1,0 +1,9 @@
+// Raw std synchronization in library code must be flagged.
+#include <mutex>
+#include <condition_variable>
+static std::mutex g_mu;
+static std::condition_variable g_cv;
+void Wake() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_cv.notify_all();
+}

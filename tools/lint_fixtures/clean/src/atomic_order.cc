@@ -1,0 +1,10 @@
+// Explicit orders (including across line breaks) and reviewed allows.
+#include <atomic>
+static std::atomic<int> g_count{0};
+int Read() { return g_count.load(std::memory_order_relaxed); }
+void Bump() { g_count.fetch_add(1, std::memory_order_relaxed); }
+void Publish(int v) {
+  g_count.store(v,
+                std::memory_order_release);
+}
+void Legacy() { g_count.store(0); }  // psky-lint: allow(atomic-order)

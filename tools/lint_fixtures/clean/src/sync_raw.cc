@@ -1,0 +1,10 @@
+// The annotated wrappers keep both checkers in view of every lock.
+#include "base/sync.h"
+static psky::Mutex g_mu{"fixture", psky::lockrank::kLeaf};
+static psky::CondVar g_cv;
+void Wake() {
+  psky::MutexLock lock(g_mu);
+  g_cv.NotifyAll();
+}
+// A reviewed exception (e.g. an FFI shim handing the native type out):
+std::mutex* Native();  // psky-lint: allow(sync-wrappers)

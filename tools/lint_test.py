@@ -58,6 +58,14 @@ class BadFixtureTest(unittest.TestCase):
             ("src/guard_bad.h", 1, "include-guard"),
             ("src/guard_pragma.h", 1, "include-guard"),
             ("src/order.cc", 7, "order-sensitive"),
+            ("src/sync_raw.cc", 2, "sync-wrappers"),
+            ("src/sync_raw.cc", 3, "sync-wrappers"),
+            ("src/sync_raw.cc", 4, "sync-wrappers"),
+            ("src/sync_raw.cc", 5, "sync-wrappers"),
+            ("src/sync_raw.cc", 7, "sync-wrappers"),
+            ("src/atomic_order.cc", 4, "atomic-order"),
+            ("src/atomic_order.cc", 5, "atomic-order"),
+            ("src/atomic_order.cc", 9, "atomic-order"),
         })
 
     def test_printing_outside_src_is_not_flagged(self):
@@ -87,12 +95,13 @@ class CleanFixtureTest(unittest.TestCase):
 
 
 class CliTest(unittest.TestCase):
-    def test_list_rules_names_all_six(self):
+    def test_list_rules_names_all_eight(self):
         proc = subprocess.run([sys.executable, LINT, "--list-rules"],
                               capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
         for rule in ("float-eq", "mutation-guard", "no-iostream",
-                     "no-naked-new", "include-guard", "order-sensitive"):
+                     "no-naked-new", "include-guard", "order-sensitive",
+                     "sync-wrappers", "atomic-order"):
             self.assertIn(rule, proc.stdout)
 
 

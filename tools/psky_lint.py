@@ -28,6 +28,20 @@ cannot check. This linter enforces them mechanically:
                    an `// order-sensitive` marker: summation order there
                    is part of the bit-identity contract with the scalar
                    reference, and the marker forces a reviewer to see it.
+  sync-wrappers    No raw std::mutex / std::condition_variable /
+                   std::lock_guard family in src/ or tools/ — all locking
+                   goes through the annotated Mutex/MutexLock/CondVar in
+                   base/sync.h so Clang thread-safety analysis and the
+                   lock-rank checker see every acquisition. (base/sync.h
+                   itself carries per-line allows where it wraps the std
+                   types.)
+  atomic-order     Every std::atomic load/store/RMW *call* in src/ or
+                   tools/ outside src/base/ must spell its
+                   std::memory_order — a bare .load()/.store(x) defaults
+                   to seq_cst silently, which either hides a needed
+                   ordering argument or taxes a hot path nobody audited.
+                   (Line-based: operator forms like ++/-- are not seen;
+                   spell them as fetch_add(1, order) in scope.)
 
 Suppression: append `// psky-lint: allow(<rule>)` to the offending line
 (or place it on the line directly above). Suppressions are expected to be
@@ -226,7 +240,7 @@ def public_mutators(header_lines: list[str], cls: str) -> list[str]:
 
 def method_bodies(source_lines: list[str], cls: str) -> dict[str, tuple[int, str]]:
     """Maps method name -> (1-based def line, body text) for Cls::Method."""
-    text_lines = [code_part(l) for l in source_lines]
+    text_lines = [code_part(ln) for ln in source_lines]
     bodies: dict[str, tuple[int, str]] = {}
     i = 0
     n = len(text_lines)
@@ -404,7 +418,7 @@ def check_order_sensitive(path: str, rel: str, lines: list[str]) -> list[Finding
     # the Google-style layout this repo uses — definitions start at column
     # 0 (after any indentation-free specifiers) and their closing brace
     # sits alone at column 0 — so namespace braces never swallow the file.
-    text_lines = [code_part(l) for l in lines]
+    text_lines = [code_part(ln) for ln in lines]
     n = len(lines)
     func_start_re = re.compile(r"^[A-Za-z_][\w:<>,&*~\[\] ]*\(")
     non_func_re = re.compile(r"^\s*(?:namespace|class|struct|enum|#|//|})")
@@ -439,6 +453,85 @@ def check_order_sensitive(path: str, rel: str, lines: list[str]) -> list[Finding
     return findings
 
 
+# --- rule: sync-wrappers ----------------------------------------------------
+
+SYNC_RAW_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|"
+    r"std::condition_variable(?:_any)?\b|"
+    r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
+
+
+def check_sync_wrappers(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    relu = rel.replace(os.sep, '/')
+    if not relu.endswith(CXX_EXTENSIONS):
+        return []
+    # Library + CLI code only: tests may build ad-hoc scaffolding, and the
+    # wrappers' own implementation necessarily names the std types (each
+    # such line carries a reviewed per-line allow).
+    if not (relu.startswith("src/") or relu.startswith("tools/")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines):
+        code = code_part(raw)
+        if not SYNC_RAW_RE.search(code):
+            continue
+        if "sync-wrappers" in allowed_rules(lines, i):
+            continue
+        findings.append(Finding(
+            path, i + 1, "sync-wrappers",
+            "raw std mutex/condvar/lock; use the annotated Mutex, MutexLock, "
+            "and CondVar from base/sync.h (Clang thread-safety analysis + "
+            "lock-rank checking), or document with "
+            "// psky-lint: allow(sync-wrappers)"))
+    return findings
+
+
+# --- rule: atomic-order -----------------------------------------------------
+
+ATOMIC_CALL_RE = re.compile(
+    r"\.\s*(?:load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+def check_atomic_order(path: str, rel: str, lines: list[str]) -> list[Finding]:
+    relu = rel.replace(os.sep, '/')
+    if not relu.endswith(CXX_EXTENSIONS):
+        return []
+    # src/base/ is the one place allowed to wrap/choose defaults centrally
+    # (sync.h, cancel.h, fault_injection.h document their orders in prose).
+    if not (relu.startswith("src/") or relu.startswith("tools/")):
+        return []
+    if relu.startswith("src/base/"):
+        return []
+    code_lines = [code_part(ln) for ln in lines]
+    text = "\n".join(code_lines)
+    findings = []
+    for m in ATOMIC_CALL_RE.finditer(text):
+        # Scan the (possibly multi-line) argument list for an explicit
+        # memory_order; std::atomic's defaults are silent seq_cst.
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == '(':
+                depth += 1
+            elif text[i] == ')':
+                depth -= 1
+            i += 1
+        if "memory_order" in text[m.end():i]:
+            continue
+        line_idx = text.count("\n", 0, m.start())
+        if "atomic-order" in allowed_rules(lines, line_idx):
+            continue
+        findings.append(Finding(
+            path, line_idx + 1, "atomic-order",
+            "atomic access without an explicit std::memory_order (defaults "
+            "to seq_cst silently); state the ordering the protocol needs — "
+            "relaxed for gauges, release/acquire for publication — or "
+            "document with // psky-lint: allow(atomic-order)"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 RULES = {
@@ -448,6 +541,8 @@ RULES = {
     "no-naked-new": "no naked new/delete anywhere",
     "include-guard": "canonical PSKY_<PATH>_H_ include guards",
     "order-sensitive": "kernel-consumer FP accumulations need // order-sensitive",
+    "sync-wrappers": "raw std::mutex/condvar in src//tools/; use base/sync.h",
+    "atomic-order": "atomic calls outside src/base/ must spell memory_order",
 }
 
 
@@ -507,6 +602,8 @@ def main(argv: list[str]) -> int:
         findings += check_no_naked_new(path, rel, lines)
         findings += check_include_guard(path, rel, lines)
         findings += check_order_sensitive(path, rel, lines)
+        findings += check_sync_wrappers(path, rel, lines)
+        findings += check_atomic_order(path, rel, lines)
     findings += check_mutation_guard(root, set(files) if args.paths else set())
 
     findings.sort(key=lambda f: (f.path, f.line))

@@ -1778,7 +1778,9 @@ int main(int argc, char** argv) {
       // Exact shed accounting: every produced element must be processed,
       // shed under a named policy, or refused after the stop request.
       const psky::QueueStats qs = queue->StatsSnapshot();
-      const uint64_t produced = produced_total.load();
+      // Acquire pairs with the producer's final relaxed increments: the
+      // producer thread is joined above, so this observes its last count.
+      const uint64_t produced = produced_total.load(std::memory_order_acquire);
       const uint64_t consumed_side = qs.dequeued + qs.shed_oldest +
                                      qs.shed_low_prob + queue->depth();
       const uint64_t produced_side =
